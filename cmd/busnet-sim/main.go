@@ -1,0 +1,72 @@
+// Command busnet-sim runs named simulation scenarios over the single-bus
+// network model and writes a JSON report to stdout.
+//
+// Usage:
+//
+//	busnet-sim -list
+//	busnet-sim -scenario buffered-vs-unbuffered [-seed 42] [-horizon 100000]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report is the top-level JSON document emitted for a scenario run.
+type Report struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description"`
+	Params      Params `json:"params"`
+	Data        any    `json:"data"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("busnet-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name    = fs.String("scenario", "", "scenario to run (see -list)")
+		list    = fs.Bool("list", false, "list available scenarios and exit")
+		seed    = fs.Int64("seed", 42, "RNG seed; equal seeds reproduce results exactly")
+		horizon = fs.Float64("horizon", 100_000, "simulated time per run")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *list {
+		for _, n := range scenarioNames() {
+			fmt.Fprintf(stdout, "%-24s %s\n", n, registry[n].Description)
+		}
+		return nil
+	}
+	sc, ok := registry[*name]
+	if !ok {
+		return fmt.Errorf("unknown scenario %q; use -list to see the registry", *name)
+	}
+	params := Params{Seed: *seed, Horizon: *horizon}
+	data, err := sc.Run(params)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Params:      params,
+		Data:        data,
+	})
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "busnet-sim:", err)
+		os.Exit(1)
+	}
+}

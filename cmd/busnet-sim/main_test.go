@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListScenarios(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenarioNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing scenario %q", name)
+		}
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &out, &errOut); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// Every registered scenario must run end-to-end and emit a valid JSON
+// report. Short horizons keep this fast; determinism comes from the seed.
+func TestScenariosEmitValidJSON(t *testing.T) {
+	for _, name := range scenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			args := []string{"-scenario", name, "-seed", "42", "-horizon", "2000"}
+			if err := run(args, &out, &errOut); err != nil {
+				t.Fatal(err)
+			}
+			var report Report
+			if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+				t.Fatalf("output is not valid JSON: %v", err)
+			}
+			if report.Scenario != name {
+				t.Fatalf("report scenario = %q, want %q", report.Scenario, name)
+			}
+			if report.Params.Seed != 42 || report.Params.Horizon != 2000 {
+				t.Fatalf("params not echoed: %+v", report.Params)
+			}
+			if report.Data == nil {
+				t.Fatal("report has no data")
+			}
+		})
+	}
+}
+
+func TestScenarioOutputDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errOut bytes.Buffer
+		args := []string{"-scenario", "buffered-vs-unbuffered", "-seed", "7", "-horizon", "2000"}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Fatal("same seed produced different scenario output")
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+// Params are the knobs every scenario accepts from the command line.
+type Params struct {
+	Seed    int64   `json:"seed"`
+	Horizon float64 `json:"horizon"`
+}
+
+// Scenario is a named experiment producing a JSON-serializable report.
+type Scenario struct {
+	Name        string
+	Description string
+	Run         func(Params) (any, error)
+}
+
+// Point is one experiment entry: the simulated results alongside the
+// closed-form prediction for the same configuration (omitted when the
+// analytic model has no steady state).
+type Point struct {
+	Sim      busnet.Results     `json:"sim"`
+	Analytic *busnet.Prediction `json:"analytic,omitempty"`
+}
+
+func runPoint(opts ...busnet.Option) (Point, error) {
+	net, err := busnet.New(opts...)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := net.Run()
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{Sim: res}
+	if pred, err := net.Predict(); err == nil {
+		p.Analytic = &pred
+	}
+	return p, nil
+}
+
+var registry = map[string]Scenario{
+	"sweep-processors": {
+		Name: "sweep-processors",
+		Description: "Unbuffered bus utilization and wait time as the processor " +
+			"count doubles from 2 to 64 at fixed λ=0.1, μ=1",
+		Run: func(p Params) (any, error) {
+			var points []Point
+			for _, n := range []int{2, 4, 8, 16, 32, 64} {
+				pt, err := runPoint(
+					busnet.WithProcessors(n),
+					busnet.WithThinkRate(0.1),
+					busnet.WithServiceRate(1),
+					busnet.WithUnbuffered(),
+					busnet.WithSeed(p.Seed),
+					busnet.WithHorizon(p.Horizon),
+				)
+				if err != nil {
+					return nil, fmt.Errorf("n=%d: %w", n, err)
+				}
+				points = append(points, pt)
+			}
+			return points, nil
+		},
+	},
+	"sweep-buffer": {
+		Name: "sweep-buffer",
+		Description: "Buffered mode at N=16, λ=0.05, μ=1: per-processor buffer " +
+			"depth swept over 1, 2, 4, 8, 16 and unbounded",
+		Run: func(p Params) (any, error) {
+			var points []Point
+			for _, capacity := range []int{1, 2, 4, 8, 16, busnet.Infinite} {
+				pt, err := runPoint(
+					busnet.WithProcessors(16),
+					busnet.WithThinkRate(0.05),
+					busnet.WithServiceRate(1),
+					busnet.WithBuffer(capacity),
+					busnet.WithSeed(p.Seed),
+					busnet.WithHorizon(p.Horizon),
+				)
+				if err != nil {
+					return nil, fmt.Errorf("capacity=%d: %w", capacity, err)
+				}
+				points = append(points, pt)
+			}
+			return points, nil
+		},
+	},
+	"buffered-vs-unbuffered": {
+		Name: "buffered-vs-unbuffered",
+		Description: "The paper's central comparison: identical workloads " +
+			"(N ∈ {4, 8, 16}, λ=0.08, μ=1) run blocking vs with unbounded buffers",
+		Run: func(p Params) (any, error) {
+			type pair struct {
+				Processors int   `json:"processors"`
+				Unbuffered Point `json:"unbuffered"`
+				Buffered   Point `json:"buffered"`
+			}
+			var pairs []pair
+			for _, n := range []int{4, 8, 16} {
+				common := []busnet.Option{
+					busnet.WithProcessors(n),
+					busnet.WithThinkRate(0.08),
+					busnet.WithServiceRate(1),
+					busnet.WithSeed(p.Seed),
+					busnet.WithHorizon(p.Horizon),
+				}
+				unbuf, err := runPoint(append(common, busnet.WithUnbuffered())...)
+				if err != nil {
+					return nil, fmt.Errorf("n=%d unbuffered: %w", n, err)
+				}
+				buf, err := runPoint(append(common, busnet.WithBuffer(busnet.Infinite))...)
+				if err != nil {
+					return nil, fmt.Errorf("n=%d buffered: %w", n, err)
+				}
+				pairs = append(pairs, pair{Processors: n, Unbuffered: unbuf, Buffered: buf})
+			}
+			return pairs, nil
+		},
+	},
+	"sweep-arbiter": {
+		Name: "sweep-arbiter",
+		Description: "Round-robin vs fixed-priority arbitration at saturation " +
+			"(N=8, λ=0.5, μ=1, buffer 4): grant counts expose starvation",
+		Run: func(p Params) (any, error) {
+			var points []Point
+			for _, kind := range []busnet.ArbiterKind{busnet.RoundRobin, busnet.FixedPriority} {
+				pt, err := runPoint(
+					busnet.WithProcessors(8),
+					busnet.WithThinkRate(0.5),
+					busnet.WithServiceRate(1),
+					busnet.WithBuffer(4),
+					busnet.WithArbiter(kind),
+					busnet.WithSeed(p.Seed),
+					busnet.WithHorizon(p.Horizon),
+				)
+				if err != nil {
+					return nil, fmt.Errorf("arbiter=%v: %w", kind, err)
+				}
+				points = append(points, pt)
+			}
+			return points, nil
+		},
+	},
+}
+
+// scenarioNames returns the registry keys sorted for stable listings.
+func scenarioNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,3 @@
+module github.com/busnet/busnet
+
+go 1.24.0

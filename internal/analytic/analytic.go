@@ -1,0 +1,130 @@
+// Package analytic provides the closed-form reference models the paper
+// validates its simulations against. Quantities use the same conventions
+// as internal/bus: λ is the per-processor request rate while thinking,
+// μ the bus service rate, wait excludes service, response includes it,
+// and queue length excludes the request in service.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Prediction holds steady-state quantities for the shared bus.
+type Prediction struct {
+	Utilization  float64 `json:"utilization"`
+	Throughput   float64 `json:"throughput"`
+	MeanWait     float64 `json:"mean_wait"`
+	MeanResponse float64 `json:"mean_response"`
+	MeanQueueLen float64 `json:"mean_queue_len"`
+}
+
+// Unbuffered is the exact machine-repairman (M/M/1//N finite-source)
+// model of the unbuffered regime: each of the N processors thinks for an
+// exponential time with rate λ, then blocks on the bus, which serves one
+// request at a time at rate μ. The state probabilities are
+//
+//	p_k ∝ N!/(N-k)! · (λ/μ)^k,  k = 0..N,
+//
+// where k is the number of processors waiting at or using the bus.
+func Unbuffered(n int, lambda, mu float64) Prediction {
+	rho := lambda / mu
+	term := 1.0 // p_k unnormalized
+	sum := 1.0  // Σ terms
+	lSum := 0.0 // Σ k·term
+	for k := 1; k <= n; k++ {
+		term *= float64(n-k+1) * rho
+		sum += term
+		lSum += float64(k) * term
+	}
+	p0 := 1 / sum
+	l := lSum / sum // mean number at the bus, including in service
+	u := 1 - p0
+	x := mu * u
+	w := l / x // Little's law: response per request at the bus
+	return Prediction{
+		Utilization:  u,
+		Throughput:   x,
+		MeanWait:     w - 1/mu,
+		MeanResponse: w,
+		MeanQueueLen: l - u,
+	}
+}
+
+// BufferedInfinite models the buffered regime with unbounded interface
+// queues as an open M/M/1 queue: processors never block, so requests
+// arrive Poisson at aggregate rate Nλ. It errors when the offered load
+// Nλ/μ ≥ 1, where no steady state exists.
+func BufferedInfinite(n int, lambda, mu float64) (Prediction, error) {
+	lam := float64(n) * lambda
+	rho := lam / mu
+	if rho >= 1 {
+		return Prediction{}, fmt.Errorf(
+			"analytic: offered load Nλ/μ = %.3f ≥ 1, infinite-buffer system is unstable", rho)
+	}
+	return Prediction{
+		Utilization:  rho,
+		Throughput:   lam,
+		MeanWait:     rho / (mu - lam),
+		MeanResponse: 1 / (mu - lam),
+		MeanQueueLen: rho * rho / (1 - rho),
+	}, nil
+}
+
+// BufferedFinite approximates the buffered regime with per-processor
+// capacity c as an M/M/1/K queue with system capacity K = N·c + 1
+// (total buffer slots plus the request in service). Backpressure —
+// a processor stalling at a full interface — is approximated as loss,
+// so the model is accurate when blocking is rare and optimistic when the
+// buffers saturate. Wait and response are per admitted request.
+func BufferedFinite(n int, lambda, mu float64, capacity int) (Prediction, error) {
+	if capacity < 1 {
+		return Prediction{}, fmt.Errorf("analytic: capacity = %d, need ≥ 1", capacity)
+	}
+	lam := float64(n) * lambda
+	a := lam / mu
+	k := n*capacity + 1
+	// p_j = p0·a^j for j = 0..K; handle a == 1 with the uniform limit.
+	// Sums are always taken over powers of min(a, 1/a) ≤ 1 so a^K cannot
+	// overflow float64 for large K: for a > 1 substitute m = K−j, giving
+	// p_j ∝ (1/a)^(K−j).
+	var p0, l float64
+	switch {
+	case a == 1:
+		p0 = 1 / float64(k+1)
+		l = float64(k) / 2
+	case a < 1:
+		pow := 1.0 // a^j running power
+		sum := 0.0
+		lSum := 0.0
+		for j := 0; j <= k; j++ {
+			sum += pow
+			lSum += float64(j) * pow
+			pow *= a
+		}
+		p0 = 1 / sum
+		l = lSum / sum
+	default:
+		b := 1 / a
+		pow := 1.0 // b^m running power
+		sum := 0.0
+		mSum := 0.0
+		for m := 0; m <= k; m++ {
+			sum += pow
+			mSum += float64(m) * pow
+			pow *= b
+		}
+		p0 = math.Pow(b, float64(k)) / sum // underflows to 0 at extreme load: U → 1 exactly
+		l = float64(k) - mSum/sum
+	}
+	u := 1 - p0
+	x := mu * u // admitted throughput = service completions
+	w := l / x
+	return Prediction{
+		Utilization:  u,
+		Throughput:   x,
+		MeanWait:     w - 1/mu,
+		MeanResponse: w,
+		MeanQueueLen: l - u,
+	}, nil
+}

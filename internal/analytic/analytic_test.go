@@ -1,0 +1,166 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/denom <= relTol
+}
+
+// With one processor the machine-repairman model collapses to an
+// alternating renewal process: U = λ/(λ+μ), no queueing at all.
+func TestUnbufferedSingleProcessor(t *testing.T) {
+	lambda, mu := 0.3, 1.2
+	p := Unbuffered(1, lambda, mu)
+	wantU := lambda / (lambda + mu)
+	if !close(p.Utilization, wantU, 1e-12) {
+		t.Fatalf("U = %v, want %v", p.Utilization, wantU)
+	}
+	if !close(p.Throughput, mu*wantU, 1e-12) {
+		t.Fatalf("X = %v, want %v", p.Throughput, mu*wantU)
+	}
+	if math.Abs(p.MeanWait) > 1e-9 || math.Abs(p.MeanQueueLen) > 1e-9 {
+		t.Fatalf("single processor cannot queue: wait=%v qlen=%v", p.MeanWait, p.MeanQueueLen)
+	}
+	if !close(p.MeanResponse, 1/mu, 1e-9) {
+		t.Fatalf("response = %v, want pure service %v", p.MeanResponse, 1/mu)
+	}
+}
+
+func TestUnbufferedProperties(t *testing.T) {
+	tests := []struct {
+		name       string
+		n          int
+		lambda, mu float64
+	}{
+		{"light", 4, 0.05, 1},
+		{"moderate", 8, 0.1, 1},
+		{"saturated", 32, 0.5, 1},
+	}
+	prevU := 0.0
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Unbuffered(tt.n, tt.lambda, tt.mu)
+			if p.Utilization <= 0 || p.Utilization > 1 {
+				t.Fatalf("U = %v outside (0, 1]", p.Utilization)
+			}
+			if p.Utilization <= prevU {
+				t.Fatalf("utilization not increasing with offered load: %v ≤ %v",
+					p.Utilization, prevU)
+			}
+			prevU = p.Utilization
+			if !close(p.Throughput, tt.mu*p.Utilization, 1e-12) {
+				t.Fatalf("X = %v, want μU = %v", p.Throughput, tt.mu*p.Utilization)
+			}
+			if !close(p.MeanResponse, p.MeanWait+1/tt.mu, 1e-9) {
+				t.Fatalf("response %v != wait %v + service %v", p.MeanResponse, p.MeanWait, 1/tt.mu)
+			}
+			// Little's law on the waiting room.
+			if !close(p.MeanQueueLen, p.Throughput*p.MeanWait, 1e-9) {
+				t.Fatalf("Lq %v != X·Wq %v", p.MeanQueueLen, p.Throughput*p.MeanWait)
+			}
+		})
+	}
+	// Saturation limit: with overwhelming demand the bus is always busy
+	// and each processor cycles once per N service times.
+	p := Unbuffered(16, 100, 1)
+	if p.Utilization < 0.9999 {
+		t.Fatalf("saturated U = %v, want → 1", p.Utilization)
+	}
+}
+
+func TestBufferedInfiniteMatchesMM1(t *testing.T) {
+	// N=8, λ=0.1, μ=1 → classic M/M/1 at ρ=0.8.
+	p, err := BufferedInfinite(8, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(p.Utilization, 0.8, 1e-12) {
+		t.Fatalf("U = %v, want 0.8", p.Utilization)
+	}
+	if !close(p.MeanWait, 4, 1e-12) { // ρ/(μ−λ) = 0.8/0.2
+		t.Fatalf("Wq = %v, want 4", p.MeanWait)
+	}
+	if !close(p.MeanResponse, 5, 1e-12) { // 1/(μ−λ)
+		t.Fatalf("W = %v, want 5", p.MeanResponse)
+	}
+	if !close(p.MeanQueueLen, 3.2, 1e-12) { // ρ²/(1−ρ)
+		t.Fatalf("Lq = %v, want 3.2", p.MeanQueueLen)
+	}
+}
+
+func TestBufferedInfiniteUnstable(t *testing.T) {
+	if _, err := BufferedInfinite(10, 0.1, 1); err == nil {
+		t.Fatal("offered load 1.0 accepted; want instability error")
+	}
+	if _, err := BufferedInfinite(4, 1, 1); err == nil {
+		t.Fatal("offered load 4.0 accepted; want instability error")
+	}
+}
+
+func TestBufferedFinite(t *testing.T) {
+	if _, err := BufferedFinite(4, 0.1, 1, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	// Large buffers converge to the M/M/1 result when stable.
+	big, err := BufferedFinite(8, 0.1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, _ := BufferedInfinite(8, 0.1, 1)
+	if !close(big.Utilization, mm1.Utilization, 1e-6) {
+		t.Fatalf("large-buffer U = %v, want M/M/1 %v", big.Utilization, mm1.Utilization)
+	}
+	if !close(big.MeanWait, mm1.MeanWait, 1e-3) {
+		t.Fatalf("large-buffer Wq = %v, want M/M/1 %v", big.MeanWait, mm1.MeanWait)
+	}
+	// A finite system has a steady state even above offered load 1, with
+	// utilization pinned below 1 and throughput capped at μU.
+	sat, err := BufferedFinite(8, 0.5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.Utilization <= 0.9 || sat.Utilization >= 1 {
+		t.Fatalf("saturated finite U = %v, want just below 1", sat.Utilization)
+	}
+	if !close(sat.Throughput, sat.Utilization, 1e-12) { // μ = 1
+		t.Fatalf("X = %v, want μU = %v", sat.Throughput, sat.Utilization)
+	}
+	// Deep buffers at high offered load must not overflow the geometric
+	// sums: a^(N·cap+1) here is ~10^770, far past float64. Regression
+	// guard for the overflow-to-NaN bug.
+	deep, err := BufferedFinite(64, 1, 0.0625, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(deep.MeanWait) || math.IsInf(deep.MeanWait, 0) ||
+		math.IsNaN(deep.Utilization) {
+		t.Fatalf("deep-buffer prediction not finite: %+v", deep)
+	}
+	if deep.Utilization < 0.999999 || deep.Utilization > 1 {
+		t.Fatalf("deep-buffer saturated U = %v, want → 1", deep.Utilization)
+	}
+	// Continuity across the a = 1 boundary: a slightly above vs slightly
+	// below must give nearly identical predictions.
+	lo, _ := BufferedFinite(8, 0.1249999, 1, 4)
+	hi, _ := BufferedFinite(8, 0.1250001, 1, 4)
+	if !close(lo.MeanWait, hi.MeanWait, 1e-4) || !close(lo.Utilization, hi.Utilization, 1e-4) {
+		t.Fatalf("discontinuity at a=1: below %+v above %+v", lo, hi)
+	}
+	// The a = 1 balanced case uses the closed-form limit.
+	bal, err := BufferedFinite(10, 0.1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10*1 + 1
+	wantU := 1 - 1/float64(k+1)
+	if !close(bal.Utilization, wantU, 1e-12) {
+		t.Fatalf("balanced U = %v, want %v", bal.Utilization, wantU)
+	}
+}

@@ -1,0 +1,62 @@
+package bus
+
+// Arbiter decides which processor is granted the bus next. Select is
+// called only when at least one processor has a pending request; pending
+// is indexed by processor and true where a request waits. Implementations
+// must be deterministic — the same pending pattern and internal state must
+// always yield the same grant — so simulation runs are reproducible.
+type Arbiter interface {
+	// Select returns the index of the processor to grant. It must return
+	// an index i with pending[i] == true.
+	Select(pending []bool) int
+	// Name identifies the policy in results and logs.
+	Name() string
+}
+
+// RoundRobinArbiter grants the bus in cyclic order starting just past the
+// last grantee, so every processor is at most n-1 grants away from
+// service regardless of load pattern.
+type RoundRobinArbiter struct {
+	last int // index of the last grantee; start scanning at last+1
+}
+
+// NewRoundRobin returns a round-robin arbiter for any processor count.
+// The first grant goes to the lowest pending index.
+func NewRoundRobin() *RoundRobinArbiter { return &RoundRobinArbiter{last: -1} }
+
+// Select scans cyclically from the slot after the last grantee.
+func (a *RoundRobinArbiter) Select(pending []bool) int {
+	n := len(pending)
+	for off := 1; off <= n; off++ {
+		i := (a.last + off) % n
+		if pending[i] {
+			a.last = i
+			return i
+		}
+	}
+	panic("bus: Select called with no pending request")
+}
+
+// Name implements Arbiter.
+func (a *RoundRobinArbiter) Name() string { return "round-robin" }
+
+// FixedPriorityArbiter always grants the lowest-index pending processor,
+// modeling a daisy-chained priority line: processor 0 can starve the rest
+// under saturation, which is exactly the behavior worth simulating.
+type FixedPriorityArbiter struct{}
+
+// NewFixedPriority returns the fixed-priority arbiter.
+func NewFixedPriority() *FixedPriorityArbiter { return &FixedPriorityArbiter{} }
+
+// Select returns the lowest pending index.
+func (a *FixedPriorityArbiter) Select(pending []bool) int {
+	for i, p := range pending {
+		if p {
+			return i
+		}
+	}
+	panic("bus: Select called with no pending request")
+}
+
+// Name implements Arbiter.
+func (a *FixedPriorityArbiter) Name() string { return "fixed-priority" }

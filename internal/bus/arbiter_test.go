@@ -1,0 +1,122 @@
+package bus
+
+import (
+	"testing"
+)
+
+func TestRoundRobinArbiter(t *testing.T) {
+	tests := []struct {
+		name    string
+		pending [][]bool // successive Select calls
+		want    []int
+	}{
+		{
+			name:    "single pending",
+			pending: [][]bool{{false, true, false, false}},
+			want:    []int{1},
+		},
+		{
+			name: "rotates through all pending",
+			pending: [][]bool{
+				{true, true, true, true},
+				{true, true, true, true},
+				{true, true, true, true},
+				{true, true, true, true},
+				{true, true, true, true},
+			},
+			want: []int{0, 1, 2, 3, 0},
+		},
+		{
+			name: "skips idle processors",
+			pending: [][]bool{
+				{true, false, true, false},
+				{true, false, true, false},
+				{true, false, true, false},
+			},
+			want: []int{0, 2, 0},
+		},
+		{
+			name: "wraps past end",
+			pending: [][]bool{
+				{false, false, false, true},
+				{true, false, false, true},
+			},
+			want: []int{3, 0},
+		},
+		{
+			name: "newly pending low index waits its turn",
+			pending: [][]bool{
+				{false, true, false, false},
+				{true, false, true, false}, // 0 became pending after 1 was granted
+			},
+			want: []int{1, 2}, // cyclic scan from 2, not priority to 0
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := NewRoundRobin()
+			for i, pending := range tt.pending {
+				if got := a.Select(pending); got != tt.want[i] {
+					t.Fatalf("call %d: Select(%v) = %d, want %d", i, pending, got, tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestFixedPriorityArbiter(t *testing.T) {
+	tests := []struct {
+		name    string
+		pending []bool
+		want    int
+	}{
+		{"lowest wins", []bool{false, true, true, false}, 1},
+		{"zero dominates", []bool{true, true, true, true}, 0},
+		{"last only", []bool{false, false, false, true}, 3},
+	}
+	a := NewFixedPriority()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Select(tt.pending); got != tt.want {
+				t.Fatalf("Select(%v) = %d, want %d", tt.pending, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArbiterPanicsWithNothingPending(t *testing.T) {
+	for _, a := range []Arbiter{NewRoundRobin(), NewFixedPriority()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Select with no pending request did not panic", a.Name())
+				}
+			}()
+			a.Select([]bool{false, false})
+		}()
+	}
+}
+
+// BenchmarkArbitrationRound measures one Select call in the loaded
+// regime (all processors pending), the per-grant cost on the dispatch
+// hot path.
+func BenchmarkArbitrationRound(b *testing.B) {
+	benches := []struct {
+		name string
+		a    Arbiter
+	}{
+		{"round-robin-16", NewRoundRobin()},
+		{"fixed-priority-16", NewFixedPriority()},
+	}
+	pending := make([]bool, 16)
+	for i := range pending {
+		pending[i] = true
+	}
+	for _, bb := range benches {
+		b.Run(bb.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bb.a.Select(pending)
+			}
+		})
+	}
+}

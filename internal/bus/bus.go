@@ -1,0 +1,294 @@
+// Package bus models a multiplexed single-bus multiprocessor network in
+// the two regimes of the source paper: unbuffered, where a processor
+// blocks from the moment it issues a bus request until the bus has served
+// it, and buffered, where requests queue at the processor's bus interface
+// (finite or unbounded capacity) and the processor keeps computing.
+//
+// The model is a closed network of N processors around one shared bus.
+// Each processor alternates between thinking (local work, exponential with
+// rate ThinkRate) and issuing a bus transaction whose service time on the
+// bus is exponential with rate ServiceRate. An Arbiter picks which
+// processor's interface the bus serves next.
+package bus
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/busnet/busnet/internal/sim"
+)
+
+// Mode selects the paper's two regimes.
+type Mode int
+
+const (
+	// Unbuffered blocks the issuing processor until its request completes.
+	Unbuffered Mode = iota
+	// Buffered queues requests at the bus interface so the processor can
+	// continue thinking, up to BufferCap outstanding requests.
+	Buffered
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Unbuffered:
+		return "unbuffered"
+	case Buffered:
+		return "buffered"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Infinite marks an unbounded per-processor buffer in Buffered mode.
+const Infinite = -1
+
+// Config describes one network instance.
+type Config struct {
+	Processors  int     // N ≥ 1
+	ThinkRate   float64 // λ: per-processor request generation rate while thinking
+	ServiceRate float64 // μ: bus service rate
+	Mode        Mode
+	BufferCap   int // per-processor queue capacity in Buffered mode; Infinite for unbounded
+	Arbiter     Arbiter
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("bus: Processors = %d, need ≥ 1", c.Processors)
+	case !(c.ThinkRate > 0):
+		return fmt.Errorf("bus: ThinkRate = %v, need > 0", c.ThinkRate)
+	case !(c.ServiceRate > 0):
+		return fmt.Errorf("bus: ServiceRate = %v, need > 0", c.ServiceRate)
+	case c.Mode != Unbuffered && c.Mode != Buffered:
+		return fmt.Errorf("bus: unknown mode %d", int(c.Mode))
+	case c.Mode == Buffered && c.BufferCap != Infinite && c.BufferCap < 1:
+		return fmt.Errorf("bus: BufferCap = %d, need ≥ 1 or Infinite", c.BufferCap)
+	case c.Arbiter == nil:
+		return fmt.Errorf("bus: Arbiter is nil")
+	}
+	return nil
+}
+
+// Network is the simulated single-bus system. It is not safe for
+// concurrent use; all mutation happens inside engine callbacks.
+type Network struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	queues  [][]float64 // per-processor FIFO of issue times awaiting the bus
+	pending []bool      // queues[i] is nonempty
+	stalled []float64   // Buffered finite: issue time of the request held at a
+	// full interface (processor stalled); NaN when none
+	queued     int // total requests waiting across all interfaces
+	busBusy    bool
+	serving    int     // processor whose request is on the bus
+	servIssued float64 // issue time of the request on the bus
+
+	statsStart  float64
+	util        sim.TimeWeighted // bus busy indicator (0/1)
+	qlen        sim.TimeWeighted // total waiting requests, excluding the one in service
+	wait        sim.Tally        // issue → service start
+	resp        sim.Tally        // issue → completion
+	issued      uint64
+	completions uint64
+	grants      []uint64 // bus grants per processor, for fairness analysis
+}
+
+// New builds a network on the given engine and RNG. Start must be called
+// to schedule the initial think completions.
+func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:     cfg,
+		eng:     eng,
+		rng:     rng,
+		queues:  make([][]float64, cfg.Processors),
+		pending: make([]bool, cfg.Processors),
+		stalled: make([]float64, cfg.Processors),
+		grants:  make([]uint64, cfg.Processors),
+	}
+	for i := range n.stalled {
+		n.stalled[i] = math.NaN()
+	}
+	n.util.Set(0, eng.Now())
+	n.qlen.Set(0, eng.Now())
+	n.statsStart = eng.Now()
+	return n, nil
+}
+
+// Start schedules the first think completion for every processor. All
+// processors begin in the thinking state.
+func (n *Network) Start() {
+	for i := 0; i < n.cfg.Processors; i++ {
+		n.scheduleThink(i)
+	}
+}
+
+func (n *Network) scheduleThink(i int) {
+	n.eng.Schedule(n.rng.Exp(n.cfg.ThinkRate), func() { n.issue(i) })
+}
+
+// issue fires when processor i finishes thinking and presents a request
+// to its bus interface.
+func (n *Network) issue(i int) {
+	now := n.eng.Now()
+	n.issued++
+	switch n.cfg.Mode {
+	case Unbuffered:
+		// The processor blocks: no further thinking is scheduled until
+		// complete() releases it.
+		n.enqueue(i, now)
+		n.tryDispatch()
+	case Buffered:
+		if n.cfg.BufferCap == Infinite || len(n.queues[i]) < n.cfg.BufferCap {
+			n.enqueue(i, now)
+			n.scheduleThink(i)
+			n.tryDispatch()
+		} else {
+			// Interface full: the request is held at the processor, which
+			// stalls until the bus drains a slot. The original issue time
+			// is kept so its waiting time includes the stall.
+			n.stalled[i] = now
+		}
+	}
+}
+
+func (n *Network) enqueue(i int, issuedAt float64) {
+	n.queues[i] = append(n.queues[i], issuedAt)
+	n.pending[i] = true
+	n.queued++
+	n.qlen.Set(float64(n.queued), n.eng.Now())
+}
+
+// tryDispatch grants the bus to the arbiter's pick when the bus is idle
+// and at least one interface has a waiting request.
+func (n *Network) tryDispatch() {
+	if n.busBusy || n.queued == 0 {
+		return
+	}
+	now := n.eng.Now()
+	j := n.cfg.Arbiter.Select(n.pending)
+	issuedAt := n.queues[j][0]
+	n.queues[j] = n.queues[j][1:]
+	n.pending[j] = len(n.queues[j]) > 0
+	n.queued--
+	n.qlen.Set(float64(n.queued), now)
+	n.grants[j]++
+	n.wait.Add(now - issuedAt)
+
+	// Popping freed a slot at interface j; admit a stalled request.
+	if !math.IsNaN(n.stalled[j]) {
+		n.enqueue(j, n.stalled[j])
+		n.stalled[j] = math.NaN()
+		n.scheduleThink(j)
+	}
+
+	n.busBusy = true
+	n.serving = j
+	n.servIssued = issuedAt
+	n.util.Set(1, now)
+	n.eng.Schedule(n.rng.Exp(n.cfg.ServiceRate), n.complete)
+}
+
+// complete fires when the bus finishes the in-flight transaction.
+func (n *Network) complete() {
+	now := n.eng.Now()
+	n.resp.Add(now - n.servIssued)
+	n.completions++
+	n.busBusy = false
+	n.util.Set(0, now)
+	if n.cfg.Mode == Unbuffered {
+		// Release the blocked processor back to thinking.
+		n.scheduleThink(n.serving)
+	}
+	n.tryDispatch()
+}
+
+// ResetStats discards all accumulated statistics and restarts collection
+// at the current simulation time, preserving network state. Used to drop
+// the warmup transient.
+func (n *Network) ResetStats() {
+	now := n.eng.Now()
+	n.statsStart = now
+	n.wait = sim.Tally{}
+	n.resp = sim.Tally{}
+	n.issued = 0
+	n.completions = 0
+	for i := range n.grants {
+		n.grants[i] = 0
+	}
+	busy := 0.0
+	if n.busBusy {
+		busy = 1
+	}
+	n.util = sim.TimeWeighted{}
+	n.util.Set(busy, now)
+	n.qlen = sim.TimeWeighted{}
+	n.qlen.Set(float64(n.queued), now)
+}
+
+// Metrics is a point-in-time summary of the measured interval
+// [statsStart, now].
+type Metrics struct {
+	Elapsed      float64  `json:"elapsed"`
+	Utilization  float64  `json:"utilization"`
+	Throughput   float64  `json:"throughput"`
+	MeanQueueLen float64  `json:"mean_queue_len"`
+	MaxQueueLen  float64  `json:"max_queue_len"`
+	MeanWait     float64  `json:"mean_wait"`
+	WaitStdDev   float64  `json:"wait_std_dev"`
+	MaxWait      float64  `json:"max_wait"`
+	MeanResponse float64  `json:"mean_response"`
+	Issued       uint64   `json:"issued"`
+	Completions  uint64   `json:"completions"`
+	Grants       []uint64 `json:"grants"`
+}
+
+// Snapshot computes metrics as of the engine's current time without
+// disturbing the collectors, so the simulation can continue afterwards.
+func (n *Network) Snapshot() Metrics {
+	now := n.eng.Now()
+	elapsed := now - n.statsStart
+	util := n.util
+	util.Finish(now)
+	qlen := n.qlen
+	qlen.Finish(now)
+	m := Metrics{
+		Elapsed:      elapsed,
+		Utilization:  util.Average(elapsed),
+		MeanQueueLen: qlen.Average(elapsed),
+		MaxQueueLen:  qlen.Max(),
+		MeanWait:     n.wait.Mean(),
+		WaitStdDev:   n.wait.StdDev(),
+		MaxWait:      n.wait.Max(),
+		MeanResponse: n.resp.Mean(),
+		Issued:       n.issued,
+		Completions:  n.completions,
+		Grants:       append([]uint64(nil), n.grants...),
+	}
+	if elapsed > 0 {
+		m.Throughput = float64(n.completions) / elapsed
+	}
+	return m
+}
+
+// Outstanding returns the number of requests processor i has in flight:
+// waiting at its interface, stalled at a full interface, or on the bus.
+// Exposed for invariant checks in tests.
+func (n *Network) Outstanding(i int) int {
+	c := len(n.queues[i])
+	if !math.IsNaN(n.stalled[i]) {
+		c++
+	}
+	if n.busBusy && n.serving == i {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventLoop measures the engine hot path: schedule one event,
+// fire it, schedule the next from inside the callback — the steady-state
+// pattern of every model built on the engine.
+func BenchmarkEventLoop(b *testing.B) {
+	e := NewEngine()
+	var fire func()
+	remaining := b.N
+	fire = func() {
+		remaining--
+		if remaining > 0 {
+			e.Schedule(1, fire)
+		}
+	}
+	e.Schedule(1, fire)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if e.Processed() != uint64(b.N) {
+		b.Fatalf("processed %d, want %d", e.Processed(), b.N)
+	}
+}
+
+// BenchmarkHeapPushPop measures raw heap throughput with a working set of
+// 1024 pending events, the regime a loaded bus simulation runs in.
+func BenchmarkHeapPushPop(b *testing.B) {
+	h := NewEventHeap(2048)
+	t := 0.0
+	for i := 0; i < 1024; i++ {
+		t += 1.0
+		h.Push(&Event{Time: t})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.Pop()
+		t += 1.0
+		ev.Time = t
+		h.Push(ev)
+	}
+}
+
+// BenchmarkTimeWeightedSet measures the stats-collector update that runs
+// on every queue transition.
+func BenchmarkTimeWeightedSet(b *testing.B) {
+	var w TimeWeighted
+	for i := 0; i < b.N; i++ {
+		w.Set(float64(i&7), float64(i))
+	}
+}

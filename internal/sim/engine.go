@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Engine drives a single-threaded discrete-event simulation. All state
+// mutation happens inside event callbacks, which the engine fires in
+// nondecreasing time order.
+type Engine struct {
+	heap      *EventHeap
+	now       float64
+	processed uint64
+	running   bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{heap: NewEventHeap(64)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return e.heap.Len() }
+
+// ScheduleAt schedules fn to fire at absolute time t. Scheduling in the
+// past panics: it is always a model bug and silently clamping it would
+// corrupt causality.
+func (e *Engine) ScheduleAt(t float64, fn func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: scheduled event at t=%v before now=%v", t, e.now))
+	}
+	ev := &Event{Time: t, Fn: fn}
+	e.heap.Push(ev)
+	return ev
+}
+
+// Schedule schedules fn to fire delay time units from now.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// Cancel removes a pending event. Returns false if it already fired.
+func (e *Engine) Cancel(ev *Event) bool { return e.heap.Remove(ev) }
+
+// ErrStopped is returned by Run when Stop was called from inside an event.
+var ErrStopped = errors.New("sim: stopped")
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.running = false }
+
+// RunUntil fires events in order until the heap is empty or the next event
+// is strictly after horizon. The clock is left at min(horizon, last event
+// time): if events remain past the horizon the clock advances to horizon
+// exactly, so time-weighted statistics cover the full interval.
+func (e *Engine) RunUntil(horizon float64) error {
+	if horizon < e.now {
+		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
+	}
+	e.running = true
+	for e.running {
+		ev := e.heap.Peek()
+		if ev == nil {
+			break
+		}
+		if ev.Time > horizon {
+			e.now = horizon
+			return nil
+		}
+		e.heap.Pop()
+		e.now = ev.Time
+		e.processed++
+		ev.Fn()
+	}
+	if !e.running {
+		e.running = false
+		return ErrStopped
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Run fires events until the heap is empty or Stop is called.
+func (e *Engine) Run() error {
+	e.running = true
+	for e.running {
+		ev := e.heap.Pop()
+		if ev == nil {
+			return nil
+		}
+		e.now = ev.Time
+		e.processed++
+		ev.Fn()
+	}
+	return ErrStopped
+}

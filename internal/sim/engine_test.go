@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.ScheduleAt(3, func() { order = append(order, 3) })
+	e.ScheduleAt(1, func() { order = append(order, 1) })
+	e.ScheduleAt(2, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired order %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() { times = append(times, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v, want [1 2]", times)
+	}
+}
+
+func TestEngineRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.ScheduleAt(1, func() { fired++ })
+	e.ScheduleAt(5, func() { fired++ })
+	e.ScheduleAt(10, func() { fired++ })
+	if err := e.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d before horizon 6, want 2", fired)
+	}
+	if e.Now() != 6 {
+		t.Fatalf("clock advanced to %v, want horizon 6", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Resuming past the remaining event fires it.
+	if err := e.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired = %d after second run, want 3", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20 (empty heap advances to horizon)", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.ScheduleAt(1, func() { fired++; e.Stop() })
+	e.ScheduleAt(2, func() { fired++ })
+	err := e.RunUntil(10)
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after Stop, want 1", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.ScheduleAt(1, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(5, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before now did not panic")
+		}
+	}()
+	e.ScheduleAt(1, func() {})
+}
+
+func TestEngineDeterministicTieOrder(t *testing.T) {
+	// Two events at the same time must fire in scheduling order, every run.
+	for run := 0; run < 10; run++ {
+		e := NewEngine()
+		var order []string
+		e.ScheduleAt(1, func() { order = append(order, "a") })
+		e.ScheduleAt(1, func() { order = append(order, "b") })
+		e.ScheduleAt(1, func() { order = append(order, "c") })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+			t.Fatalf("run %d: tie order %v, want [a b c]", run, order)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func drainTimes(h *EventHeap) []float64 {
+	var out []float64
+	for {
+		ev := h.Pop()
+		if ev == nil {
+			return out
+		}
+		out = append(out, ev.Time)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	cases := []struct {
+		name  string
+		times []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{5}},
+		{"ascending", []float64{1, 2, 3, 4, 5}},
+		{"descending", []float64{5, 4, 3, 2, 1}},
+		{"interleaved", []float64{3, 1, 4, 1.5, 9, 2.6, 5.3}},
+		{"duplicates", []float64{2, 2, 1, 2, 1, 3, 3}},
+		{"negative-and-zero", []float64{0, -1, 2, -3, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewEventHeap(0)
+			for _, tm := range tc.times {
+				h.Push(&Event{Time: tm})
+			}
+			want := append([]float64(nil), tc.times...)
+			sort.Float64s(want)
+			got := drainTimes(h)
+			if len(got) != len(want) {
+				t.Fatalf("drained %d events, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("pop %d = %v, want %v (full: %v)", i, got[i], want[i], got)
+				}
+			}
+		})
+	}
+}
+
+func TestHeapTieBreakByInsertionOrder(t *testing.T) {
+	cases := []struct {
+		name  string
+		times []float64 // all pushes, in order; equal times must pop FIFO
+	}{
+		{"all-equal", []float64{7, 7, 7, 7, 7}},
+		{"two-groups", []float64{3, 1, 3, 1, 3, 1}},
+		{"ties-around-distinct", []float64{2, 5, 2, 0, 5, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewEventHeap(0)
+			events := make([]*Event, len(tc.times))
+			for i, tm := range tc.times {
+				events[i] = &Event{Time: tm}
+				h.Push(events[i])
+			}
+			var lastTime float64
+			var lastSeq uint64
+			first := true
+			for {
+				ev := h.Pop()
+				if ev == nil {
+					break
+				}
+				if !first {
+					if ev.Time < lastTime {
+						t.Fatalf("time went backwards: %v after %v", ev.Time, lastTime)
+					}
+					if ev.Time == lastTime && ev.Seq() < lastSeq {
+						t.Fatalf("tie at t=%v broken out of insertion order: seq %d after %d",
+							ev.Time, ev.Seq(), lastSeq)
+					}
+				}
+				lastTime, lastSeq, first = ev.Time, ev.Seq(), false
+			}
+		})
+	}
+}
+
+func TestHeapRemove(t *testing.T) {
+	t.Run("remove-middle", func(t *testing.T) {
+		h := NewEventHeap(0)
+		keep1 := &Event{Time: 1}
+		gone := &Event{Time: 2}
+		keep2 := &Event{Time: 3}
+		h.Push(keep2)
+		h.Push(gone)
+		h.Push(keep1)
+		if !h.Remove(gone) {
+			t.Fatal("Remove returned false for pending event")
+		}
+		if got := drainTimes(h); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+			t.Fatalf("after remove, drained %v, want [1 3]", got)
+		}
+	})
+
+	t.Run("remove-popped-returns-false", func(t *testing.T) {
+		h := NewEventHeap(0)
+		ev := &Event{Time: 1}
+		h.Push(ev)
+		h.Pop()
+		if h.Remove(ev) {
+			t.Fatal("Remove returned true for already-popped event")
+		}
+	})
+
+	t.Run("remove-twice-returns-false", func(t *testing.T) {
+		h := NewEventHeap(0)
+		ev := &Event{Time: 1}
+		h.Push(&Event{Time: 0})
+		h.Push(ev)
+		if !h.Remove(ev) {
+			t.Fatal("first Remove failed")
+		}
+		if h.Remove(ev) {
+			t.Fatal("second Remove returned true")
+		}
+	})
+
+	t.Run("remove-under-load", func(t *testing.T) {
+		// Push many events, remove a random half, verify the survivors
+		// still drain in sorted order with FIFO tie-breaking intact.
+		rng := rand.New(rand.NewSource(1))
+		h := NewEventHeap(0)
+		const n = 2000
+		events := make([]*Event, n)
+		for i := range events {
+			events[i] = &Event{Time: float64(rng.Intn(50))}
+			h.Push(events[i])
+		}
+		removed := make(map[*Event]bool)
+		for _, i := range rng.Perm(n)[:n/2] {
+			if !h.Remove(events[i]) {
+				t.Fatalf("Remove failed for pending event %d", i)
+			}
+			removed[events[i]] = true
+		}
+		if h.Len() != n/2 {
+			t.Fatalf("Len = %d after removals, want %d", h.Len(), n/2)
+		}
+		var lastTime float64
+		var lastSeq uint64
+		first := true
+		count := 0
+		for {
+			ev := h.Pop()
+			if ev == nil {
+				break
+			}
+			if removed[ev] {
+				t.Fatal("popped a removed event")
+			}
+			if !first && (ev.Time < lastTime || (ev.Time == lastTime && ev.Seq() < lastSeq)) {
+				t.Fatalf("order violated at pop %d: (%v,%d) after (%v,%d)",
+					count, ev.Time, ev.Seq(), lastTime, lastSeq)
+			}
+			lastTime, lastSeq, first = ev.Time, ev.Seq(), false
+			count++
+		}
+		if count != n/2 {
+			t.Fatalf("drained %d events, want %d", count, n/2)
+		}
+	})
+}
+
+func TestHeapPeek(t *testing.T) {
+	h := NewEventHeap(4)
+	if h.Peek() != nil {
+		t.Fatal("Peek on empty heap should return nil")
+	}
+	h.Push(&Event{Time: 2})
+	h.Push(&Event{Time: 1})
+	if got := h.Peek(); got == nil || got.Time != 1 {
+		t.Fatalf("Peek = %v, want event at t=1", got)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Peek must not remove: Len = %d, want 2", h.Len())
+	}
+}

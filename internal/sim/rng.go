@@ -1,0 +1,29 @@
+package sim
+
+import "math/rand"
+
+// RNG is the seeded random-variate source injected into every model.
+// A single stream per simulation run keeps results reproducible: the
+// engine is single-threaded, so draws happen in a deterministic order.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a source seeded deterministically from seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Exp draws an exponential variate with the given rate (mean 1/rate).
+func (g *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exp rate must be positive")
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// Uniform draws from [0, 1).
+func (g *RNG) Uniform() float64 { return g.r.Float64() }
+
+// Intn draws a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }

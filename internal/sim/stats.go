@@ -1,0 +1,113 @@
+package sim
+
+import "math"
+
+// Tally accumulates per-observation statistics (waiting times, response
+// times) using Welford's online algorithm so variance is numerically
+// stable over millions of samples.
+type Tally struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	t.n++
+	if t.n == 1 {
+		t.min, t.max = x, x
+	} else {
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+	}
+	delta := x - t.mean
+	t.mean += delta / float64(t.n)
+	t.m2 += delta * (x - t.mean)
+}
+
+// Count returns the number of observations recorded.
+func (t *Tally) Count() uint64 { return t.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (t *Tally) Mean() float64 { return t.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than
+// two observations.
+func (t *Tally) Variance() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	return t.m2 / float64(t.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (t *Tally) StdDev() float64 { return math.Sqrt(t.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (t *Tally) Max() float64 { return t.max }
+
+// TimeWeighted tracks a piecewise-constant quantity (queue length, number
+// of busy servers) and integrates it over simulation time, yielding
+// time-averaged values. Call Set on every change, then Finish at the end
+// of the run to close the final interval.
+type TimeWeighted struct {
+	value   float64
+	lastT   float64
+	area    float64
+	max     float64
+	started bool
+}
+
+// Set records that the tracked quantity changed to v at time now.
+func (w *TimeWeighted) Set(v, now float64) {
+	if !w.started {
+		w.started = true
+		w.lastT = now
+		w.value = v
+		w.max = v
+		return
+	}
+	w.area += w.value * (now - w.lastT)
+	w.lastT = now
+	w.value = v
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Add shifts the tracked quantity by delta at time now.
+func (w *TimeWeighted) Add(delta, now float64) { w.Set(w.value+delta, now) }
+
+// Value returns the current (instantaneous) value.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// Max returns the largest value observed.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// Finish closes the integration interval at time now. Calling Set
+// afterwards reopens the interval.
+func (w *TimeWeighted) Finish(now float64) {
+	if w.started {
+		w.area += w.value * (now - w.lastT)
+		w.lastT = now
+	}
+}
+
+// Average returns the time-weighted average over [start, now] where start
+// is the time of the first Set. Finish must be called first; the zero
+// value (never Set) averages to 0.
+func (w *TimeWeighted) Average(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return w.area / elapsed
+}

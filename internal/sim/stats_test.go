@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTally(t *testing.T) {
+	cases := []struct {
+		name           string
+		xs             []float64
+		mean, variance float64
+		min, max       float64
+	}{
+		{"empty", nil, 0, 0, 0, 0},
+		{"single", []float64{4}, 4, 0, 4, 4},
+		{"pair", []float64{2, 4}, 3, 2, 2, 4},
+		{"sequence", []float64{1, 2, 3, 4, 5}, 3, 2.5, 1, 5},
+		{"negatives", []float64{-2, 0, 2}, 0, 4, -2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ta Tally
+			for _, x := range tc.xs {
+				ta.Add(x)
+			}
+			if ta.Count() != uint64(len(tc.xs)) {
+				t.Fatalf("Count = %d, want %d", ta.Count(), len(tc.xs))
+			}
+			if math.Abs(ta.Mean()-tc.mean) > 1e-12 {
+				t.Fatalf("Mean = %v, want %v", ta.Mean(), tc.mean)
+			}
+			if math.Abs(ta.Variance()-tc.variance) > 1e-12 {
+				t.Fatalf("Variance = %v, want %v", ta.Variance(), tc.variance)
+			}
+			if ta.Min() != tc.min || ta.Max() != tc.max {
+				t.Fatalf("Min/Max = %v/%v, want %v/%v", ta.Min(), ta.Max(), tc.min, tc.max)
+			}
+		})
+	}
+}
+
+func TestTallyWelfordStability(t *testing.T) {
+	// Large offset + small spread is the classic catastrophic-cancellation
+	// case for naive sum-of-squares variance.
+	var ta Tally
+	const offset = 1e9
+	for i := 0; i < 1000; i++ {
+		ta.Add(offset + float64(i%2)) // alternates offset, offset+1
+	}
+	if got := ta.Variance(); math.Abs(got-0.25025025) > 1e-4 {
+		t.Fatalf("Variance = %v, want ~0.25", got)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	// Value 0 on [0,2), 3 on [2,5), 1 on [5,10). Average over 10 units:
+	// (0*2 + 3*3 + 1*5) / 10 = 1.4
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Set(3, 2)
+	w.Set(1, 5)
+	w.Finish(10)
+	if got := w.Average(10); math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("Average = %v, want 1.4", got)
+	}
+	if w.Max() != 3 {
+		t.Fatalf("Max = %v, want 3", w.Max())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Add(1, 1)  // 1 on [1,3)
+	w.Add(1, 3)  // 2 on [3,4)
+	w.Add(-2, 4) // 0 on [4,8)
+	w.Finish(8)
+	// (0*1 + 1*2 + 2*1 + 0*4) / 8 = 0.5
+	if got := w.Average(8); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Average = %v, want 0.5", got)
+	}
+	if w.Value() != 0 {
+		t.Fatalf("Value = %v, want 0", w.Value())
+	}
+}
+
+func TestTimeWeightedZeroValue(t *testing.T) {
+	var w TimeWeighted
+	w.Finish(10)
+	if got := w.Average(10); got != 0 {
+		t.Fatalf("Average of never-set tracker = %v, want 0", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Exp(2.0), b.Exp(2.0); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7)
+	const rate = 4.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("empirical mean %v, want ~%v", mean, 1/rate)
+	}
+}

@@ -1,0 +1,153 @@
+// Package busnet is the stable public API for simulating multiplexed
+// single-bus multiprocessor networks with and without buffering, after
+// the source paper. Configure a network with functional options, run it,
+// and get typed Results; Predict returns the matching closed-form model
+// for cross-checking.
+//
+//	net, err := busnet.New(
+//		busnet.WithProcessors(16),
+//		busnet.WithBuffer(4),
+//		busnet.WithArbiter(busnet.RoundRobin),
+//		busnet.WithSeed(42),
+//	)
+//	if err != nil { ... }
+//	res, err := net.Run()
+package busnet
+
+import (
+	"github.com/busnet/busnet/internal/analytic"
+	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/sim"
+)
+
+// Config echoes the resolved configuration back in Results.
+type Config struct {
+	Processors  int     `json:"processors"`
+	ThinkRate   float64 `json:"think_rate"`
+	ServiceRate float64 `json:"service_rate"`
+	Mode        string  `json:"mode"`
+	BufferCap   int     `json:"buffer_cap"` // -1 = infinite; meaningful only in buffered mode
+	Arbiter     string  `json:"arbiter"`
+	Seed        int64   `json:"seed"`
+	Horizon     float64 `json:"horizon"`
+	Warmup      float64 `json:"warmup"`
+}
+
+// Results summarizes one simulation run over the measured interval
+// [warmup, horizon]. Waiting time runs from a request's issue to its
+// service start (including any stall at a full interface); response time
+// additionally includes service. Queue length counts requests waiting at
+// the interfaces, excluding the one on the bus.
+type Results struct {
+	Config       Config   `json:"config"`
+	MeasuredTime float64  `json:"measured_time"`
+	Events       uint64   `json:"events"`
+	Issued       uint64   `json:"issued"`
+	Completions  uint64   `json:"completions"`
+	Throughput   float64  `json:"throughput"`
+	Utilization  float64  `json:"utilization"`
+	MeanQueueLen float64  `json:"mean_queue_len"`
+	MaxQueueLen  float64  `json:"max_queue_len"`
+	MeanWait     float64  `json:"mean_wait"`
+	WaitStdDev   float64  `json:"wait_std_dev"`
+	MaxWait      float64  `json:"max_wait"`
+	MeanResponse float64  `json:"mean_response"`
+	Grants       []uint64 `json:"grants"`
+}
+
+// Prediction re-exports the analytic package's closed-form quantities so
+// callers never import internal packages.
+type Prediction = analytic.Prediction
+
+// Network is a configured, runnable single-bus network. Each call to Run
+// builds fresh simulation state, so a Network is reusable and every run
+// with the same seed is identical.
+type Network struct {
+	cfg config
+}
+
+// New validates the options and returns a runnable network.
+func New(opts ...Option) (*Network, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.warmupSet {
+		cfg.warmup = cfg.horizon / 10
+		cfg.warmupSet = true
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg}, nil
+}
+
+// Config returns the resolved configuration.
+func (n *Network) Config() Config {
+	return Config{
+		Processors:  n.cfg.processors,
+		ThinkRate:   n.cfg.thinkRate,
+		ServiceRate: n.cfg.serviceRate,
+		Mode:        n.cfg.mode.String(),
+		BufferCap:   n.cfg.bufferCap,
+		Arbiter:     n.cfg.arbiter.String(),
+		Seed:        n.cfg.seed,
+		Horizon:     n.cfg.horizon,
+		Warmup:      n.cfg.warmup,
+	}
+}
+
+// Run simulates the network from time 0 to the horizon and returns
+// statistics over [warmup, horizon]. It is deterministic: equal
+// configuration and seed yield identical Results.
+func (n *Network) Run() (Results, error) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(n.cfg.seed)
+	model, err := bus.New(n.cfg.busConfig(), eng, rng)
+	if err != nil {
+		return Results{}, err
+	}
+	model.Start()
+	if n.cfg.warmup > 0 {
+		if err := eng.RunUntil(n.cfg.warmup); err != nil {
+			return Results{}, err
+		}
+		model.ResetStats()
+	}
+	if err := eng.RunUntil(n.cfg.horizon); err != nil {
+		return Results{}, err
+	}
+	m := model.Snapshot()
+	return Results{
+		Config:       n.Config(),
+		MeasuredTime: m.Elapsed,
+		Events:       eng.Processed(),
+		Issued:       m.Issued,
+		Completions:  m.Completions,
+		Throughput:   m.Throughput,
+		Utilization:  m.Utilization,
+		MeanQueueLen: m.MeanQueueLen,
+		MaxQueueLen:  m.MaxQueueLen,
+		MeanWait:     m.MeanWait,
+		WaitStdDev:   m.WaitStdDev,
+		MaxWait:      m.MaxWait,
+		MeanResponse: m.MeanResponse,
+		Grants:       m.Grants,
+	}, nil
+}
+
+// Predict returns the closed-form steady-state prediction for this
+// configuration: the exact machine-repairman model in unbuffered mode,
+// M/M/1 for infinite buffers, and the M/M/1/K approximation for finite
+// buffers. It errors when no steady state exists (infinite buffers with
+// offered load ≥ 1).
+func (n *Network) Predict() (Prediction, error) {
+	c := n.cfg
+	if c.mode == bus.Unbuffered {
+		return analytic.Unbuffered(c.processors, c.thinkRate, c.serviceRate), nil
+	}
+	if c.bufferCap == Infinite {
+		return analytic.BufferedInfinite(c.processors, c.thinkRate, c.serviceRate)
+	}
+	return analytic.BufferedFinite(c.processors, c.thinkRate, c.serviceRate, c.bufferCap)
+}

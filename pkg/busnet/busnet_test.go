@@ -1,0 +1,161 @@
+package busnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Acceptance criterion: identical Results across two runs with the same
+// seed, for both regimes and both arbiters — and a different seed must
+// actually change the outcome.
+func TestRunDeterminism(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"unbuffered/round-robin", []Option{WithUnbuffered(), WithArbiter(RoundRobin)}},
+		{"unbuffered/fixed-priority", []Option{WithUnbuffered(), WithArbiter(FixedPriority)}},
+		{"buffered-finite", []Option{WithBuffer(4)}},
+		{"buffered-infinite", []Option{WithBuffer(Infinite)}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			opts := append([]Option{
+				WithProcessors(16),
+				WithThinkRate(0.05),
+				WithServiceRate(1),
+				WithSeed(42),
+				WithHorizon(5000),
+			}, v.opts...)
+			net, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("same seed, different Results:\n%+v\nvs\n%+v", first, second)
+			}
+			if first.Completions == 0 {
+				t.Fatal("run produced no completions")
+			}
+
+			other, err := New(append(opts, WithSeed(43))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reseeded, err := other.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Completions == reseeded.Completions && first.MeanWait == reseeded.MeanWait {
+				t.Fatal("different seed reproduced the same trajectory; RNG not wired through")
+			}
+		})
+	}
+}
+
+func TestNewRejectsInvalidOptions(t *testing.T) {
+	tests := []struct {
+		name string
+		opts []Option
+	}{
+		{"zero processors", []Option{WithProcessors(0)}},
+		{"negative think rate", []Option{WithThinkRate(-0.1)}},
+		{"zero service rate", []Option{WithServiceRate(0)}},
+		{"zero horizon", []Option{WithHorizon(0)}},
+		{"warmup past horizon", []Option{WithHorizon(100), WithWarmup(100)}},
+		{"negative warmup", []Option{WithWarmup(-1)}},
+		{"unknown arbiter", []Option{WithArbiter(ArbiterKind(99))}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.opts...); err == nil {
+				t.Fatal("invalid options accepted")
+			}
+		})
+	}
+}
+
+func TestConfigEchoAndDefaults(t *testing.T) {
+	net, err := New(WithProcessors(16), WithBuffer(4), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := net.Config()
+	if cfg.Processors != 16 || cfg.BufferCap != 4 || cfg.Seed != 42 {
+		t.Fatalf("config echo mismatch: %+v", cfg)
+	}
+	if cfg.Mode != "buffered" || cfg.Arbiter != "round-robin" {
+		t.Fatalf("mode/arbiter = %q/%q, want buffered/round-robin", cfg.Mode, cfg.Arbiter)
+	}
+	if cfg.Warmup != cfg.Horizon/10 {
+		t.Fatalf("default warmup = %v, want horizon/10 = %v", cfg.Warmup, cfg.Horizon/10)
+	}
+	// WithBuffer with a non-positive capacity normalizes to Infinite.
+	inf, err := New(WithBuffer(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Config().BufferCap != Infinite {
+		t.Fatalf("WithBuffer(0) → cap %d, want Infinite", inf.Config().BufferCap)
+	}
+}
+
+func TestFixedPriorityStarvesUnderSaturation(t *testing.T) {
+	res, err := mustRun(t,
+		WithProcessors(8),
+		WithThinkRate(1), // offered load 8: the bus cannot keep up
+		WithServiceRate(1),
+		WithBuffer(2),
+		WithArbiter(FixedPriority),
+		WithSeed(7),
+		WithHorizon(5000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grants[0] < 4*res.Grants[7] {
+		t.Fatalf("fixed priority under saturation: grants[0]=%d not ≫ grants[7]=%d",
+			res.Grants[0], res.Grants[7])
+	}
+	rr, err := mustRun(t,
+		WithProcessors(8),
+		WithThinkRate(1),
+		WithServiceRate(1),
+		WithBuffer(2),
+		WithArbiter(RoundRobin),
+		WithSeed(7),
+		WithHorizon(5000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := rr.Grants[0], rr.Grants[0]
+	for _, g := range rr.Grants {
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if float64(max) > 1.2*float64(min) {
+		t.Fatalf("round-robin under saturation should be fair: grants %v", rr.Grants)
+	}
+}
+
+func mustRun(t *testing.T, opts ...Option) (Results, error) {
+	t.Helper()
+	net, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Run()
+}

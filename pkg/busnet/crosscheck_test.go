@@ -1,0 +1,124 @@
+package busnet
+
+import (
+	"math"
+	"testing"
+)
+
+// Cross-validation of simulation against the closed-form models, the
+// core methodology of the paper. Runs are deterministic (fixed seeds),
+// so tolerances are tight without flakiness.
+//
+// Tolerances: the unbuffered machine-repairman and infinite-buffer M/M/1
+// models are exact, so the sim must converge to them as the horizon
+// grows; the finite-buffer M/M/1/K model approximates backpressure as
+// loss and gets a looser bound at moderate blocking.
+
+func relErr(sim, pred float64) float64 {
+	if pred == 0 {
+		return math.Abs(sim)
+	}
+	return math.Abs(sim-pred) / math.Abs(pred)
+}
+
+func TestSimulationMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon cross-validation")
+	}
+	tests := []struct {
+		name    string
+		opts    []Option
+		utilTol float64
+		waitTol float64
+	}{
+		// Unbuffered: exact finite-source model.
+		{"unbuffered/n4/light", []Option{
+			WithProcessors(4), WithThinkRate(0.1), WithUnbuffered()}, 0.02, 0.05},
+		{"unbuffered/n8/moderate", []Option{
+			WithProcessors(8), WithThinkRate(0.1), WithUnbuffered()}, 0.02, 0.05},
+		{"unbuffered/n16/heavy", []Option{
+			WithProcessors(16), WithThinkRate(0.1), WithUnbuffered()}, 0.02, 0.05},
+		// Buffered, unbounded: exact M/M/1.
+		{"buffered/n4/rho0.4", []Option{
+			WithProcessors(4), WithThinkRate(0.1), WithBuffer(Infinite)}, 0.02, 0.08},
+		{"buffered/n8/rho0.6", []Option{
+			WithProcessors(8), WithThinkRate(0.075), WithBuffer(Infinite)}, 0.02, 0.08},
+		{"buffered/n16/rho0.8", []Option{
+			WithProcessors(16), WithThinkRate(0.05), WithBuffer(Infinite)}, 0.02, 0.10},
+		// Buffered, finite: M/M/1/K approximation, low-blocking regime.
+		{"buffered/n8/cap4", []Option{
+			WithProcessors(8), WithThinkRate(0.06), WithBuffer(4)}, 0.05, 0.15},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			opts := append([]Option{
+				WithServiceRate(1),
+				WithSeed(42),
+				WithHorizon(400_000),
+				WithWarmup(40_000),
+			}, tt.opts...)
+			net, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := net.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(res.Utilization, pred.Utilization); e > tt.utilTol {
+				t.Errorf("utilization: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.Utilization, pred.Utilization, e, tt.utilTol)
+			}
+			if e := relErr(res.Throughput, pred.Throughput); e > tt.utilTol {
+				t.Errorf("throughput: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.Throughput, pred.Throughput, e, tt.utilTol)
+			}
+			if e := relErr(res.MeanWait, pred.MeanWait); e > tt.waitTol {
+				t.Errorf("mean wait: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.MeanWait, pred.MeanWait, e, tt.waitTol)
+			}
+			if e := relErr(res.MeanQueueLen, pred.MeanQueueLen); e > tt.waitTol {
+				t.Errorf("queue length: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.MeanQueueLen, pred.MeanQueueLen, e, tt.waitTol)
+			}
+		})
+	}
+}
+
+// The paper's qualitative headline: at equal workload, buffering trades
+// processor blocking for queueing — utilization and throughput rise
+// (processors keep issuing while requests wait), and so does the wait a
+// request sees at the bus.
+func TestBufferingIncreasesUtilization(t *testing.T) {
+	common := []Option{
+		WithProcessors(8),
+		WithThinkRate(0.08),
+		WithServiceRate(1),
+		WithSeed(42),
+		WithHorizon(200_000),
+	}
+	unbuf, err := mustRun(t, append(common, WithUnbuffered())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := mustRun(t, append(common, WithBuffer(Infinite))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Utilization <= unbuf.Utilization {
+		t.Fatalf("buffered utilization %.4f not above unbuffered %.4f",
+			buf.Utilization, unbuf.Utilization)
+	}
+	if buf.Throughput <= unbuf.Throughput {
+		t.Fatalf("buffered throughput %.4f not above unbuffered %.4f",
+			buf.Throughput, unbuf.Throughput)
+	}
+	if buf.MeanWait <= unbuf.MeanWait {
+		t.Fatalf("buffered wait %.4f not above unbuffered %.4f (queueing should cost)",
+			buf.MeanWait, unbuf.MeanWait)
+	}
+}

@@ -1,0 +1,139 @@
+package busnet
+
+import (
+	"fmt"
+
+	"github.com/busnet/busnet/internal/bus"
+)
+
+// ArbiterKind names a bus arbitration policy.
+type ArbiterKind int
+
+const (
+	// RoundRobin grants the bus cyclically starting after the last grantee.
+	RoundRobin ArbiterKind = iota
+	// FixedPriority always grants the lowest-index pending processor.
+	FixedPriority
+)
+
+// String implements fmt.Stringer.
+func (k ArbiterKind) String() string {
+	switch k {
+	case RoundRobin:
+		return "round-robin"
+	case FixedPriority:
+		return "fixed-priority"
+	default:
+		return fmt.Sprintf("ArbiterKind(%d)", int(k))
+	}
+}
+
+// Infinite marks an unbounded buffer in WithBuffer.
+const Infinite = bus.Infinite
+
+type config struct {
+	processors  int
+	thinkRate   float64
+	serviceRate float64
+	mode        bus.Mode
+	bufferCap   int
+	arbiter     ArbiterKind
+	seed        int64
+	horizon     float64
+	warmup      float64
+	warmupSet   bool
+}
+
+func defaultConfig() config {
+	return config{
+		processors:  8,
+		thinkRate:   0.1,
+		serviceRate: 1.0,
+		mode:        bus.Unbuffered,
+		bufferCap:   Infinite,
+		arbiter:     RoundRobin,
+		seed:        1,
+		horizon:     100_000,
+	}
+}
+
+// Option configures a Network at construction time.
+type Option func(*config)
+
+// WithProcessors sets the number of processors N on the bus.
+func WithProcessors(n int) Option { return func(c *config) { c.processors = n } }
+
+// WithThinkRate sets λ, the rate at which each thinking processor
+// generates bus requests (mean think time 1/λ).
+func WithThinkRate(lambda float64) Option { return func(c *config) { c.thinkRate = lambda } }
+
+// WithServiceRate sets μ, the bus service rate (mean transaction 1/μ).
+func WithServiceRate(mu float64) Option { return func(c *config) { c.serviceRate = mu } }
+
+// WithUnbuffered selects the unbuffered regime: a processor blocks from
+// issuing a request until the bus has served it. This is the default.
+func WithUnbuffered() Option {
+	return func(c *config) { c.mode = bus.Unbuffered }
+}
+
+// WithBuffer selects the buffered regime with the given per-processor
+// interface capacity. Pass Infinite (or any value ≤ 0) for unbounded
+// queues.
+func WithBuffer(capacity int) Option {
+	return func(c *config) {
+		c.mode = bus.Buffered
+		if capacity <= 0 {
+			capacity = Infinite
+		}
+		c.bufferCap = capacity
+	}
+}
+
+// WithArbiter selects the arbitration policy.
+func WithArbiter(kind ArbiterKind) Option { return func(c *config) { c.arbiter = kind } }
+
+// WithSeed sets the RNG seed. Runs with equal configuration and seed
+// produce identical Results.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithHorizon sets the simulated time at which the run stops.
+func WithHorizon(t float64) Option { return func(c *config) { c.horizon = t } }
+
+// WithWarmup sets the simulated time at which statistics collection
+// starts, discarding the initial transient. Defaults to 10% of the
+// horizon.
+func WithWarmup(t float64) Option {
+	return func(c *config) { c.warmup = t; c.warmupSet = true }
+}
+
+// validate assumes New has already resolved the default warmup.
+func (c config) validate() error {
+	switch {
+	case c.arbiter != RoundRobin && c.arbiter != FixedPriority:
+		return fmt.Errorf("busnet: unknown arbiter kind %d", int(c.arbiter))
+	case !(c.horizon > 0):
+		return fmt.Errorf("busnet: horizon = %v, need > 0", c.horizon)
+	case c.warmup < 0 || c.warmup >= c.horizon:
+		return fmt.Errorf("busnet: warmup = %v, need in [0, horizon)", c.warmup)
+	}
+	// Domain-level constraints (processor count, rates, buffer capacity)
+	// are validated by bus.Config so the two layers cannot drift apart.
+	return c.busConfig().Validate()
+}
+
+func (c config) busConfig() bus.Config {
+	bc := bus.Config{
+		Processors:  c.processors,
+		ThinkRate:   c.thinkRate,
+		ServiceRate: c.serviceRate,
+		Mode:        c.mode,
+		BufferCap:   c.bufferCap,
+	}
+	switch c.arbiter {
+	case FixedPriority:
+		bc.Arbiter = bus.NewFixedPriority()
+	default:
+		bc.Arbiter = bus.NewRoundRobin()
+	}
+	return bc
+}
