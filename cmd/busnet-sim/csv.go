@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"github.com/busnet/busnet/pkg/busnet/sweep"
+)
+
+// csvHeader names one row per grid point, wide format: configuration,
+// then mean/ci95 per metric, then the analytic prediction (blank when no
+// steady state exists).
+var csvHeader = []string{
+	"scenario", "curve", "point",
+	"processors", "think_rate", "service_rate", "mode", "buffer_cap", "arbiter",
+	"seed", "horizon", "warmup", "replications",
+	"util_mean", "util_ci95",
+	"throughput_mean", "throughput_ci95",
+	"wait_mean", "wait_ci95",
+	"qlen_mean", "qlen_ci95",
+	"response_mean", "response_ci95",
+	"analytic_util", "analytic_throughput", "analytic_wait", "analytic_qlen", "analytic_response",
+}
+
+// writeCSV flattens a report to CSV. Floats are rendered with
+// strconv's shortest round-trip formatting, so CSV output is as
+// deterministic as the JSON report.
+func writeCSV(w io.Writer, report Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	i := strconv.Itoa
+	stat := func(s sweep.Stat) []string { return []string{f(s.Mean), f(s.CI95)} }
+	for _, curve := range report.Curves {
+		for p, pt := range curve.Result.Points {
+			row := []string{
+				report.Scenario, curve.Name, i(p),
+				i(pt.Config.Processors), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
+				pt.Config.Mode, i(pt.Config.BufferCap), pt.Config.Arbiter,
+				strconv.FormatInt(pt.Config.Seed, 10), f(pt.Config.Horizon), f(pt.Config.Warmup),
+				i(curve.Result.Replications),
+			}
+			row = append(row, stat(pt.Utilization)...)
+			row = append(row, stat(pt.Throughput)...)
+			row = append(row, stat(pt.MeanWait)...)
+			row = append(row, stat(pt.MeanQueueLen)...)
+			row = append(row, stat(pt.MeanResponse)...)
+			if a := pt.Analytic; a != nil {
+				row = append(row, f(a.Utilization), f(a.Throughput), f(a.MeanWait),
+					f(a.MeanQueueLen), f(a.MeanResponse))
+			} else {
+				row = append(row, "", "", "", "", "")
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,10 +1,17 @@
-// Command busnet-sim runs named simulation scenarios over the single-bus
-// network model and writes a JSON report to stdout.
+// Command busnet-sim runs named experiment scenarios over the single-bus
+// network model. Every scenario is a set of swept curves: each grid
+// point is simulated with R independent replications across a worker
+// pool and reported as mean ± 95% CI next to the closed-form prediction.
+// Reports go to stdout as JSON (default) or CSV.
 //
 // Usage:
 //
 //	busnet-sim -list
-//	busnet-sim -scenario buffered-vs-unbuffered [-seed 42] [-horizon 100000]
+//	busnet-sim -scenario paper-curves [-seed 42] [-horizon 100000] \
+//	    [-replications 10] [-workers 0] [-format json|csv]
+//
+// Output is deterministic: equal seeds and parameters reproduce reports
+// byte for byte, regardless of -workers.
 package main
 
 import (
@@ -18,10 +25,10 @@ import (
 
 // Report is the top-level JSON document emitted for a scenario run.
 type Report struct {
-	Scenario    string `json:"scenario"`
-	Description string `json:"description"`
-	Params      Params `json:"params"`
-	Data        any    `json:"data"`
+	Scenario    string        `json:"scenario"`
+	Description string        `json:"description"`
+	Params      Params        `json:"params"`
+	Curves      []CurveResult `json:"curves"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -30,8 +37,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		name    = fs.String("scenario", "", "scenario to run (see -list)")
 		list    = fs.Bool("list", false, "list available scenarios and exit")
-		seed    = fs.Int64("seed", 42, "RNG seed; equal seeds reproduce results exactly")
-		horizon = fs.Float64("horizon", 100_000, "simulated time per run")
+		seed    = fs.Int64("seed", 42, "RNG seed; equal seeds reproduce reports exactly")
+		horizon = fs.Float64("horizon", 100_000, "simulated time per run (10% is warmup)")
+		reps    = fs.Int("replications", 10, "independent replications per grid point")
+		workers = fs.Int("workers", 0, "simulation worker goroutines; 0 = all CPUs (never affects results)")
+		format  = fs.String("format", "json", "output format: json or csv")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -45,23 +55,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+	if *format != "json" && *format != "csv" {
+		return fmt.Errorf("unknown format %q; want json or csv", *format)
+	}
+	// Reject rather than silently substitute a default: the report echoes
+	// params.replications, which must match what actually ran.
+	if *reps < 1 {
+		return fmt.Errorf("-replications = %d, need ≥ 1", *reps)
+	}
 	sc, ok := registry[*name]
 	if !ok {
 		return fmt.Errorf("unknown scenario %q; use -list to see the registry", *name)
 	}
-	params := Params{Seed: *seed, Horizon: *horizon}
-	data, err := sc.Run(params)
+	params := Params{Seed: *seed, Horizon: *horizon, Replications: *reps, Workers: *workers}
+	curves, err := sc.Run(params)
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(Report{
+	report := Report{
 		Scenario:    sc.Name,
 		Description: sc.Description,
 		Params:      params,
-		Data:        data,
-	})
+		Curves:      curves,
+	}
+	if *format == "csv" {
+		return writeCSV(stdout, report)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 func main() {

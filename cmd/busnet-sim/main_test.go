@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -26,13 +27,22 @@ func TestUnknownScenarioFails(t *testing.T) {
 	}
 }
 
+func TestUnknownFormatFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "finite-buffer", "-format", "xml"}
+	if err := run(args, &out, &errOut); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
 // Every registered scenario must run end-to-end and emit a valid JSON
-// report. Short horizons keep this fast; determinism comes from the seed.
+// report with CI statistics per point. Short horizons and few
+// replications keep this fast; determinism comes from the seed.
 func TestScenariosEmitValidJSON(t *testing.T) {
 	for _, name := range scenarioNames() {
 		t.Run(name, func(t *testing.T) {
 			var out, errOut bytes.Buffer
-			args := []string{"-scenario", name, "-seed", "42", "-horizon", "2000"}
+			args := []string{"-scenario", name, "-seed", "42", "-horizon", "2000", "-replications", "3"}
 			if err := run(args, &out, &errOut); err != nil {
 				t.Fatal(err)
 			}
@@ -43,20 +53,170 @@ func TestScenariosEmitValidJSON(t *testing.T) {
 			if report.Scenario != name {
 				t.Fatalf("report scenario = %q, want %q", report.Scenario, name)
 			}
-			if report.Params.Seed != 42 || report.Params.Horizon != 2000 {
+			if report.Params.Seed != 42 || report.Params.Horizon != 2000 || report.Params.Replications != 3 {
 				t.Fatalf("params not echoed: %+v", report.Params)
 			}
-			if report.Data == nil {
-				t.Fatal("report has no data")
+			if len(report.Curves) == 0 {
+				t.Fatal("report has no curves")
+			}
+			for _, c := range report.Curves {
+				if c.Result.Replications != 3 {
+					t.Fatalf("curve %s ran %d replications, want 3", c.Name, c.Result.Replications)
+				}
+				if len(c.Result.Points) == 0 {
+					t.Fatalf("curve %s has no points", c.Name)
+				}
+				for _, pt := range c.Result.Points {
+					if !(pt.Utilization.Mean > 0) {
+						t.Fatalf("curve %s: point has zero utilization: %+v", c.Name, pt.Config)
+					}
+				}
 			}
 		})
+	}
+}
+
+// paper-curves is the single invocation reproducing the paper's three
+// headline figures: ≥ 8 grid points per curve, with analytic predictions
+// wherever a steady state exists.
+func TestPaperCurvesShape(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "paper-curves", "-horizon", "2000", "-replications", "2"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Curves) != 3 {
+		t.Fatalf("paper-curves produced %d curves, want 3", len(report.Curves))
+	}
+	for _, c := range report.Curves {
+		if len(c.Result.Points) < 8 {
+			t.Errorf("curve %s has %d points, want ≥ 8", c.Name, len(c.Result.Points))
+		}
+		if c.Figure == "" {
+			t.Errorf("curve %s missing its figure mapping", c.Name)
+		}
+		for _, pt := range c.Result.Points {
+			if pt.Analytic == nil {
+				t.Errorf("curve %s: point %+v missing analytic prediction (all paper-curve points are stable)",
+					c.Name, pt.Config)
+			}
+		}
+	}
+}
+
+// The worker pool is an execution detail: -workers=1 and -workers=8 must
+// emit byte-identical reports in both formats.
+func TestWorkerCountInvisibleInOutput(t *testing.T) {
+	for _, format := range []string{"json", "csv"} {
+		render := func(workers string) string {
+			var out, errOut bytes.Buffer
+			args := []string{"-scenario", "unbuffered-vs-n", "-seed", "7", "-horizon", "1500",
+				"-replications", "3", "-workers", workers, "-format", format}
+			if err := run(args, &out, &errOut); err != nil {
+				t.Fatal(err)
+			}
+			return out.String()
+		}
+		if render("1") != render("8") {
+			t.Fatalf("%s output differs between -workers=1 and -workers=8", format)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "finite-buffer", "-horizon", "1500", "-replications", "2", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(rows) != 1+9 {
+		t.Fatalf("got %d rows, want header + 9 points", len(rows))
+	}
+	for i, col := range csvHeader {
+		if rows[0][i] != col {
+			t.Fatalf("header column %d = %q, want %q", i, rows[0][i], col)
+		}
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row width %d != header width %d", len(row), len(csvHeader))
+		}
+		if row[1] != "finite-buffer" {
+			t.Fatalf("curve column = %q", row[1])
+		}
+	}
+	// The last point is the unbounded buffer: cap −1, analytic present,
+	// and the run's provenance (seed, horizon) rides along in every row.
+	last := rows[len(rows)-1]
+	if last[7] != "-1" {
+		t.Fatalf("last point buffer_cap = %q, want -1 (Infinite)", last[7])
+	}
+	if last[9] != "42" || last[10] != "1500" {
+		t.Fatalf("seed/horizon columns = %q/%q, want 42/1500", last[9], last[10])
+	}
+	if last[23] == "" {
+		t.Fatal("stable point missing analytic utilization in CSV")
+	}
+}
+
+func TestInvalidReplicationsRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "finite-buffer", "-replications", "0"}
+	if err := run(args, &out, &errOut); err == nil {
+		t.Fatal("-replications=0 accepted; the echoed params would contradict the data")
+	}
+}
+
+// The starvation signal: summed per-processor grant counts must be
+// near-uniform under round-robin and skewed toward processor 0 under
+// fixed priority at saturation.
+func TestArbiterFairnessExposesGrants(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "arbiter-fairness", "-horizon", "3000", "-replications", "3"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	points := report.Curves[0].Result.Points
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want round-robin and fixed-priority", len(points))
+	}
+	rr, fp := points[0], points[1]
+	if rr.Config.Arbiter != "round-robin" || fp.Config.Arbiter != "fixed-priority" {
+		t.Fatalf("unexpected point order: %q, %q", rr.Config.Arbiter, fp.Config.Arbiter)
+	}
+	if fp.Grants[0] < 4*fp.Grants[7] {
+		t.Errorf("fixed priority at saturation: grants[0]=%d not ≫ grants[7]=%d", fp.Grants[0], fp.Grants[7])
+	}
+	min, max := rr.Grants[0], rr.Grants[0]
+	for _, g := range rr.Grants {
+		if g < min {
+			min = g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	if float64(max) > 1.2*float64(min) {
+		t.Errorf("round-robin at saturation should be fair: grants %v", rr.Grants)
 	}
 }
 
 func TestScenarioOutputDeterministic(t *testing.T) {
 	render := func() string {
 		var out, errOut bytes.Buffer
-		args := []string{"-scenario", "buffered-vs-unbuffered", "-seed", "7", "-horizon", "2000"}
+		args := []string{"-scenario", "buffered-vs-unbuffered", "-seed", "7", "-horizon", "2000", "-replications", "2"}
 		if err := run(args, &out, &errOut); err != nil {
 			t.Fatal(err)
 		}

@@ -5,148 +5,179 @@ import (
 	"sort"
 
 	"github.com/busnet/busnet/pkg/busnet"
+	"github.com/busnet/busnet/pkg/busnet/sweep"
 )
 
 // Params are the knobs every scenario accepts from the command line.
+// Workers is an execution detail — it changes wall-clock time, never
+// numbers — so it is excluded from the JSON echo to keep reports
+// bit-identical across pool sizes.
 type Params struct {
-	Seed    int64   `json:"seed"`
-	Horizon float64 `json:"horizon"`
+	Seed         int64   `json:"seed"`
+	Horizon      float64 `json:"horizon"`
+	Replications int     `json:"replications"`
+	Workers      int     `json:"-"`
 }
 
-// Scenario is a named experiment producing a JSON-serializable report.
+// base is the shared starting configuration every curve derives from:
+// μ = 1 so time is in units of mean bus transactions, warmup 10% of the
+// horizon.
+func (p Params) base() busnet.Config {
+	cfg := busnet.DefaultConfig().AtHorizon(p.Horizon)
+	cfg.Seed = p.Seed
+	cfg.ServiceRate = 1
+	return cfg
+}
+
+// Curve declares one paper figure: a named grid producing a single swept
+// curve with replication CIs and analytic overlays.
+type Curve struct {
+	Name        string
+	Figure      string // which figure of the source paper this reproduces
+	Description string
+	grid        func(Params) sweep.Grid
+}
+
+// CurveResult is one executed curve in the report.
+type CurveResult struct {
+	Name        string       `json:"name"`
+	Figure      string       `json:"figure"`
+	Description string       `json:"description"`
+	Result      sweep.Result `json:"result"`
+}
+
+// Scenario is a named bundle of curves runnable from the CLI.
 type Scenario struct {
 	Name        string
 	Description string
-	Run         func(Params) (any, error)
+	Curves      []Curve
 }
 
-// Point is one experiment entry: the simulated results alongside the
-// closed-form prediction for the same configuration (omitted when the
-// analytic model has no steady state).
-type Point struct {
-	Sim      busnet.Results     `json:"sim"`
-	Analytic *busnet.Prediction `json:"analytic,omitempty"`
+// Run executes every curve of the scenario as a parallel sweep.
+func (s Scenario) Run(p Params) ([]CurveResult, error) {
+	out := make([]CurveResult, 0, len(s.Curves))
+	for _, c := range s.Curves {
+		res, err := sweep.Run(sweep.Spec{
+			Grid:         c.grid(p),
+			Replications: p.Replications,
+			Workers:      p.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("curve %s: %w", c.Name, err)
+		}
+		out = append(out, CurveResult{
+			Name:        c.Name,
+			Figure:      c.Figure,
+			Description: c.Description,
+			Result:      res,
+		})
+	}
+	return out, nil
 }
 
-func runPoint(opts ...busnet.Option) (Point, error) {
-	net, err := busnet.New(opts...)
-	if err != nil {
-		return Point{}, err
+// The paper's three headline curves. docs/curves.md maps each to the
+// figure it reproduces.
+var (
+	curveUnbufferedVsN = Curve{
+		Name:        "unbuffered-vs-n",
+		Figure:      "bus utilization and mean wait vs N, unbuffered",
+		Description: "Machine-repairman regime: utilization and wait as N grows from 2 to 64 at fixed λ=0.1, μ=1",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeUnbuffered
+			base.ThinkRate = 0.1
+			return sweep.Grid{
+				Base:       base,
+				Processors: []int{2, 4, 8, 12, 16, 24, 32, 48, 64},
+			}
+		},
 	}
-	res, err := net.Run()
-	if err != nil {
-		return Point{}, err
+	curveBufferedVsLoad = Curve{
+		Name:        "buffered-vs-load",
+		Figure:      "mean wait and queue length vs offered load, infinite buffers",
+		Description: "M/M/1 regime at N=16: offered load ρ = Nλ/μ swept 0.1…0.9 with unbounded interface queues",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeBuffered
+			base.BufferCap = busnet.Infinite
+			base.Processors = 16
+			rates := make([]float64, 0, 9)
+			for i := 1; i <= 9; i++ {
+				rho := float64(i) / 10
+				rates = append(rates, rho/float64(base.Processors))
+			}
+			return sweep.Grid{Base: base, ThinkRates: rates}
+		},
 	}
-	p := Point{Sim: res}
-	if pred, err := net.Predict(); err == nil {
-		p.Analytic = &pred
+	curveFiniteBuffer = Curve{
+		Name:        "finite-buffer",
+		Figure:      "wait and utilization vs per-processor buffer depth",
+		Description: "Finite buffers interpolate the regimes: depth 1…16 and unbounded at N=16, λ=0.05 (ρ=0.8)",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeBuffered
+			base.Processors = 16
+			base.ThinkRate = 0.05
+			return sweep.Grid{
+				Base:       base,
+				BufferCaps: []int{1, 2, 3, 4, 6, 8, 12, 16, busnet.Infinite},
+			}
+		},
 	}
-	return p, nil
+)
+
+// single wraps one curve as its own scenario, keeping the registry key,
+// scenario name, and curve name in lockstep.
+func single(c Curve) Scenario {
+	return Scenario{Name: c.Name, Description: c.Description, Curves: []Curve{c}}
 }
 
 var registry = map[string]Scenario{
-	"sweep-processors": {
-		Name: "sweep-processors",
-		Description: "Unbuffered bus utilization and wait time as the processor " +
-			"count doubles from 2 to 64 at fixed λ=0.1, μ=1",
-		Run: func(p Params) (any, error) {
-			var points []Point
-			for _, n := range []int{2, 4, 8, 16, 32, 64} {
-				pt, err := runPoint(
-					busnet.WithProcessors(n),
-					busnet.WithThinkRate(0.1),
-					busnet.WithServiceRate(1),
-					busnet.WithUnbuffered(),
-					busnet.WithSeed(p.Seed),
-					busnet.WithHorizon(p.Horizon),
-				)
-				if err != nil {
-					return nil, fmt.Errorf("n=%d: %w", n, err)
-				}
-				points = append(points, pt)
-			}
-			return points, nil
-		},
+	"paper-curves": {
+		Name: "paper-curves",
+		Description: "All three headline curves of the paper in one run: " +
+			"unbuffered vs N, buffered vs load, and the finite-buffer interpolation",
+		Curves: []Curve{curveUnbufferedVsN, curveBufferedVsLoad, curveFiniteBuffer},
 	},
-	"sweep-buffer": {
-		Name: "sweep-buffer",
-		Description: "Buffered mode at N=16, λ=0.05, μ=1: per-processor buffer " +
-			"depth swept over 1, 2, 4, 8, 16 and unbounded",
-		Run: func(p Params) (any, error) {
-			var points []Point
-			for _, capacity := range []int{1, 2, 4, 8, 16, busnet.Infinite} {
-				pt, err := runPoint(
-					busnet.WithProcessors(16),
-					busnet.WithThinkRate(0.05),
-					busnet.WithServiceRate(1),
-					busnet.WithBuffer(capacity),
-					busnet.WithSeed(p.Seed),
-					busnet.WithHorizon(p.Horizon),
-				)
-				if err != nil {
-					return nil, fmt.Errorf("capacity=%d: %w", capacity, err)
-				}
-				points = append(points, pt)
-			}
-			return points, nil
-		},
-	},
-	"buffered-vs-unbuffered": {
-		Name: "buffered-vs-unbuffered",
+	"unbuffered-vs-n":  single(curveUnbufferedVsN),
+	"buffered-vs-load": single(curveBufferedVsLoad),
+	"finite-buffer":    single(curveFiniteBuffer),
+	"buffered-vs-unbuffered": single(Curve{
+		Name:   "buffered-vs-unbuffered",
+		Figure: "utilization and wait, blocking vs buffered, same workload",
 		Description: "The paper's central comparison: identical workloads " +
 			"(N ∈ {4, 8, 16}, λ=0.08, μ=1) run blocking vs with unbounded buffers",
-		Run: func(p Params) (any, error) {
-			type pair struct {
-				Processors int   `json:"processors"`
-				Unbuffered Point `json:"unbuffered"`
-				Buffered   Point `json:"buffered"`
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.ThinkRate = 0.08
+			base.BufferCap = busnet.Infinite
+			return sweep.Grid{
+				Base:       base,
+				Processors: []int{4, 8, 16},
+				Modes:      []string{busnet.ModeUnbuffered, busnet.ModeBuffered},
 			}
-			var pairs []pair
-			for _, n := range []int{4, 8, 16} {
-				common := []busnet.Option{
-					busnet.WithProcessors(n),
-					busnet.WithThinkRate(0.08),
-					busnet.WithServiceRate(1),
-					busnet.WithSeed(p.Seed),
-					busnet.WithHorizon(p.Horizon),
-				}
-				unbuf, err := runPoint(append(common, busnet.WithUnbuffered())...)
-				if err != nil {
-					return nil, fmt.Errorf("n=%d unbuffered: %w", n, err)
-				}
-				buf, err := runPoint(append(common, busnet.WithBuffer(busnet.Infinite))...)
-				if err != nil {
-					return nil, fmt.Errorf("n=%d buffered: %w", n, err)
-				}
-				pairs = append(pairs, pair{Processors: n, Unbuffered: unbuf, Buffered: buf})
-			}
-			return pairs, nil
 		},
-	},
-	"sweep-arbiter": {
-		Name: "sweep-arbiter",
+	}),
+	"arbiter-fairness": single(Curve{
+		Name:   "arbiter-fairness",
+		Figure: "arbitration policy comparison under saturation",
 		Description: "Round-robin vs fixed-priority arbitration at saturation " +
-			"(N=8, λ=0.5, μ=1, buffer 4): grant counts expose starvation",
-		Run: func(p Params) (any, error) {
-			var points []Point
-			for _, kind := range []busnet.ArbiterKind{busnet.RoundRobin, busnet.FixedPriority} {
-				pt, err := runPoint(
-					busnet.WithProcessors(8),
-					busnet.WithThinkRate(0.5),
-					busnet.WithServiceRate(1),
-					busnet.WithBuffer(4),
-					busnet.WithArbiter(kind),
-					busnet.WithSeed(p.Seed),
-					busnet.WithHorizon(p.Horizon),
-				)
-				if err != nil {
-					return nil, fmt.Errorf("arbiter=%v: %w", kind, err)
-				}
-				points = append(points, pt)
+			"(N=8, λ=0.5, μ=1, buffer 4): summed per-processor grant counts expose starvation",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Processors = 8
+			base.Mode = busnet.ModeBuffered
+			base.BufferCap = 4
+			base.ThinkRate = 0.5
+			return sweep.Grid{
+				Base: base,
+				Arbiters: []string{
+					busnet.RoundRobin.String(),
+					busnet.FixedPriority.String(),
+				},
 			}
-			return points, nil
 		},
-	},
+	}),
 }
 
 // scenarioNames returns the registry keys sorted for stable listings.

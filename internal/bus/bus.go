@@ -59,10 +59,11 @@ func (c Config) Validate() error {
 	switch {
 	case c.Processors < 1:
 		return fmt.Errorf("bus: Processors = %d, need ≥ 1", c.Processors)
-	case !(c.ThinkRate > 0):
-		return fmt.Errorf("bus: ThinkRate = %v, need > 0", c.ThinkRate)
-	case !(c.ServiceRate > 0):
-		return fmt.Errorf("bus: ServiceRate = %v, need > 0", c.ServiceRate)
+	case !(c.ThinkRate > 0) || math.IsInf(c.ThinkRate, 1):
+		// An infinite rate makes Exp draw 0 forever, freezing the clock.
+		return fmt.Errorf("bus: ThinkRate = %v, need finite and > 0", c.ThinkRate)
+	case !(c.ServiceRate > 0) || math.IsInf(c.ServiceRate, 1):
+		return fmt.Errorf("bus: ServiceRate = %v, need finite and > 0", c.ServiceRate)
 	case c.Mode != Unbuffered && c.Mode != Buffered:
 		return fmt.Errorf("bus: unknown mode %d", int(c.Mode))
 	case c.Mode == Buffered && c.BufferCap != Infinite && c.BufferCap < 1:
@@ -217,21 +218,18 @@ func (n *Network) complete() {
 func (n *Network) ResetStats() {
 	now := n.eng.Now()
 	n.statsStart = now
-	n.wait = sim.Tally{}
-	n.resp = sim.Tally{}
+	n.wait.Reset()
+	n.resp.Reset()
 	n.issued = 0
 	n.completions = 0
 	for i := range n.grants {
 		n.grants[i] = 0
 	}
-	busy := 0.0
-	if n.busBusy {
-		busy = 1
-	}
-	n.util = sim.TimeWeighted{}
-	n.util.Set(busy, now)
-	n.qlen = sim.TimeWeighted{}
-	n.qlen.Set(float64(n.queued), now)
+	// The collectors keep their live values (bus busy indicator, current
+	// queue depth) and restart integration at now, so the network state
+	// carries across the truncation point while its history is dropped.
+	n.util.ResetAt(now)
+	n.qlen.ResetAt(now)
 }
 
 // Metrics is a point-in-time summary of the measured interval

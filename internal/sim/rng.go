@@ -1,17 +1,41 @@
 package sim
 
-import "math/rand"
+import "math/rand/v2"
 
 // RNG is the seeded random-variate source injected into every model.
-// A single stream per simulation run keeps results reproducible: the
-// engine is single-threaded, so draws happen in a deterministic order.
+// Each simulation run owns exactly one RNG, so draws happen in a
+// deterministic order; independent runs of the same experiment use
+// substreams of a shared seed (NewRNGStream) instead of ad-hoc reseeding,
+// which keeps replications statistically independent while the whole
+// experiment stays reproducible from a single seed.
 type RNG struct {
 	r *rand.Rand
 }
 
-// NewRNG returns a source seeded deterministically from seed.
-func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+// NewRNG returns a source seeded deterministically from seed; it is
+// stream 0 of that seed.
+func NewRNG(seed int64) *RNG { return NewRNGStream(seed, 0) }
+
+// NewRNGStream returns substream stream of the given seed. Streams of one
+// seed are statistically independent PCG generators: seed and stream are
+// each expanded through SplitMix64 before being combined into the 128-bit
+// PCG state, so nearby stream ids (0, 1, 2, …) land in unrelated regions
+// of the state space. SplitMix64 is bijective and hi pins down the seed,
+// so distinct (seed, stream) pairs always map to distinct PCG states —
+// no seed/stream aliasing. Equal pairs yield identical draw sequences.
+func NewRNGStream(seed int64, stream uint64) *RNG {
+	hi := splitmix64(uint64(seed))
+	lo := splitmix64(hi ^ splitmix64(stream))
+	return &RNG{r: rand.New(rand.NewPCG(hi, lo))}
+}
+
+// splitmix64 is the standard 64-bit seed expander (Steele et al.); a
+// single step diffuses every input bit across the output word.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // Exp draws an exponential variate with the given rate (mean 1/rate).
@@ -26,4 +50,4 @@ func (g *RNG) Exp(rate float64) float64 {
 func (g *RNG) Uniform() float64 { return g.r.Float64() }
 
 // Intn draws a uniform integer in [0, n).
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int { return g.r.IntN(n) }

@@ -31,6 +31,11 @@ func (t *Tally) Add(x float64) {
 	t.m2 += delta * (x - t.mean)
 }
 
+// Reset discards every accumulated observation, returning the tally to
+// its zero state. Used to truncate the warmup transient: collect through
+// the warmup, Reset, and only post-warmup observations remain.
+func (t *Tally) Reset() { *t = Tally{} }
+
 // Count returns the number of observations recorded.
 func (t *Tally) Count() uint64 { return t.n }
 
@@ -92,6 +97,17 @@ func (w *TimeWeighted) Value() float64 { return w.value }
 
 // Max returns the largest value observed.
 func (w *TimeWeighted) Max() float64 { return w.max }
+
+// ResetAt discards the accumulated area and max and restarts integration
+// at time now, preserving the current value — the tracked quantity (queue
+// length, busy servers) does not change just because measurement restarts.
+// This is the warmup-truncation primitive: statistics accumulated before
+// now are dropped and the average is taken over [now, Finish] only.
+func (w *TimeWeighted) ResetAt(now float64) {
+	v := w.value
+	*w = TimeWeighted{}
+	w.Set(v, now)
+}
 
 // Finish closes the integration interval at time now. Calling Set
 // afterwards reopens the interval.

@@ -93,6 +93,42 @@ func TestTimeWeightedZeroValue(t *testing.T) {
 	}
 }
 
+func TestTallyReset(t *testing.T) {
+	var ta Tally
+	ta.Add(100)
+	ta.Add(200) // warmup transient
+	ta.Reset()
+	if ta.Count() != 0 || ta.Mean() != 0 || ta.Max() != 0 {
+		t.Fatalf("reset tally not zero: %+v", ta)
+	}
+	ta.Add(2)
+	ta.Add(4)
+	if ta.Mean() != 3 || ta.Min() != 2 || ta.Max() != 4 {
+		t.Fatalf("post-reset stats polluted by pre-reset observations: mean=%v min=%v max=%v",
+			ta.Mean(), ta.Min(), ta.Max())
+	}
+}
+
+func TestTimeWeightedResetAt(t *testing.T) {
+	// Value 5 on [0,10) is warmup; ResetAt(10) must keep the value 5 but
+	// drop its area, so the average over [10,20] with 5 on [10,14) and
+	// 1 on [14,20) is (5*4 + 1*6) / 10 = 2.6 — not biased by the transient.
+	var w TimeWeighted
+	w.Set(5, 0)
+	w.ResetAt(10)
+	if w.Value() != 5 {
+		t.Fatalf("ResetAt changed the tracked value to %v, want 5", w.Value())
+	}
+	w.Set(1, 14)
+	w.Finish(20)
+	if got := w.Average(10); math.Abs(got-2.6) > 1e-12 {
+		t.Fatalf("Average = %v, want 2.6", got)
+	}
+	if w.Max() != 5 {
+		t.Fatalf("Max = %v, want 5 (value live at reset counts)", w.Max())
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {

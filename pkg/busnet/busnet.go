@@ -1,8 +1,11 @@
 // Package busnet is the stable public API for simulating multiplexed
 // single-bus multiprocessor networks with and without buffering, after
-// the source paper. Configure a network with functional options, run it,
-// and get typed Results; Predict returns the matching closed-form model
-// for cross-checking.
+// the source paper. The package is split into an immutable, validated
+// Config value type and a Network runner built from it: one Config can
+// fan out to many runs (parameter grids, replications) without sharing
+// any mutable state. Configure either with functional options or a
+// Config literal, run it, and get typed Results; Predict returns the
+// matching closed-form model for cross-checking.
 //
 //	net, err := busnet.New(
 //		busnet.WithProcessors(16),
@@ -12,6 +15,16 @@
 //	)
 //	if err != nil { ... }
 //	res, err := net.Run()
+//
+// or, deriving runs from a config value:
+//
+//	cfg := busnet.DefaultConfig()
+//	cfg.Processors = 16
+//	cfg.Stream = 3 // replication 3's independent RNG substream
+//	net, err := busnet.FromConfig(cfg)
+//
+// For whole parameter sweeps with replication statistics, see the
+// pkg/busnet/sweep subpackage.
 package busnet
 
 import (
@@ -19,19 +32,6 @@ import (
 	"github.com/busnet/busnet/internal/bus"
 	"github.com/busnet/busnet/internal/sim"
 )
-
-// Config echoes the resolved configuration back in Results.
-type Config struct {
-	Processors  int     `json:"processors"`
-	ThinkRate   float64 `json:"think_rate"`
-	ServiceRate float64 `json:"service_rate"`
-	Mode        string  `json:"mode"`
-	BufferCap   int     `json:"buffer_cap"` // -1 = infinite; meaningful only in buffered mode
-	Arbiter     string  `json:"arbiter"`
-	Seed        int64   `json:"seed"`
-	Horizon     float64 `json:"horizon"`
-	Warmup      float64 `json:"warmup"`
-}
 
 // Results summarizes one simulation run over the measured interval
 // [warmup, horizon]. Waiting time runs from a request's issue to its
@@ -60,68 +60,75 @@ type Results struct {
 type Prediction = analytic.Prediction
 
 // Network is a configured, runnable single-bus network. Each call to Run
-// builds fresh simulation state, so a Network is reusable and every run
-// with the same seed is identical.
+// builds fresh simulation state, so a Network is reusable — including
+// concurrently — and every run with the same config is identical.
 type Network struct {
-	cfg config
+	cfg Config
 }
 
-// New validates the options and returns a runnable network.
+// New validates the options and returns a runnable network. Warmup
+// defaults to 10% of the horizon unless set explicitly.
 func New(opts ...Option) (*Network, error) {
-	cfg := defaultConfig()
+	b := builder{cfg: DefaultConfig()}
 	for _, opt := range opts {
-		opt(&cfg)
+		opt(&b)
 	}
-	if !cfg.warmupSet {
-		cfg.warmup = cfg.horizon / 10
-		cfg.warmupSet = true
+	switch b.warmup {
+	case warmupFraction:
+		b.cfg.Warmup = b.warmupFrac * b.cfg.Horizon
+	case warmupDefault:
+		b.cfg.Warmup = b.cfg.Horizon / 10
 	}
-	if err := cfg.validate(); err != nil {
+	return FromConfig(b.cfg)
+}
+
+// FromConfig validates cfg and returns a runnable network. The config is
+// copied in: later mutation of the caller's value cannot affect the
+// network. Unlike New, no warmup defaulting happens — the config is
+// taken literally (empty Mode/Arbiter strings normalize to the
+// defaults).
+func FromConfig(cfg Config) (*Network, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &Network{cfg: cfg}, nil
 }
 
 // Config returns the resolved configuration.
-func (n *Network) Config() Config {
-	return Config{
-		Processors:  n.cfg.processors,
-		ThinkRate:   n.cfg.thinkRate,
-		ServiceRate: n.cfg.serviceRate,
-		Mode:        n.cfg.mode.String(),
-		BufferCap:   n.cfg.bufferCap,
-		Arbiter:     n.cfg.arbiter.String(),
-		Seed:        n.cfg.seed,
-		Horizon:     n.cfg.horizon,
-		Warmup:      n.cfg.warmup,
-	}
-}
+func (n *Network) Config() Config { return n.cfg }
 
 // Run simulates the network from time 0 to the horizon and returns
 // statistics over [warmup, horizon]. It is deterministic: equal
-// configuration and seed yield identical Results.
+// configuration (including Seed and Stream) yields identical Results.
+// Run builds all state afresh, so concurrent Runs on one Network are
+// safe.
 func (n *Network) Run() (Results, error) {
 	eng := sim.NewEngine()
-	rng := sim.NewRNG(n.cfg.seed)
+	rng := sim.NewRNGStream(n.cfg.Seed, n.cfg.Stream)
 	model, err := bus.New(n.cfg.busConfig(), eng, rng)
 	if err != nil {
 		return Results{}, err
 	}
 	model.Start()
-	if n.cfg.warmup > 0 {
-		if err := eng.RunUntil(n.cfg.warmup); err != nil {
+	var warmupEvents uint64
+	if n.cfg.Warmup > 0 {
+		if err := eng.RunUntil(n.cfg.Warmup); err != nil {
 			return Results{}, err
 		}
 		model.ResetStats()
+		// Truncate the event count with the rest of the statistics so
+		// every Results field covers the same measured interval.
+		warmupEvents = eng.Processed()
 	}
-	if err := eng.RunUntil(n.cfg.horizon); err != nil {
+	if err := eng.RunUntil(n.cfg.Horizon); err != nil {
 		return Results{}, err
 	}
 	m := model.Snapshot()
 	return Results{
-		Config:       n.Config(),
+		Config:       n.cfg,
 		MeasuredTime: m.Elapsed,
-		Events:       eng.Processed(),
+		Events:       eng.Processed() - warmupEvents,
 		Issued:       m.Issued,
 		Completions:  m.Completions,
 		Throughput:   m.Throughput,
@@ -136,18 +143,26 @@ func (n *Network) Run() (Results, error) {
 	}, nil
 }
 
-// Predict returns the closed-form steady-state prediction for this
-// configuration: the exact machine-repairman model in unbuffered mode,
-// M/M/1 for infinite buffers, and the M/M/1/K approximation for finite
-// buffers. It errors when no steady state exists (infinite buffers with
-// offered load ≥ 1).
-func (n *Network) Predict() (Prediction, error) {
-	c := n.cfg
-	if c.mode == bus.Unbuffered {
-		return analytic.Unbuffered(c.processors, c.thinkRate, c.serviceRate), nil
+// Predict returns the closed-form steady-state prediction for cfg: the
+// exact machine-repairman model in unbuffered mode, M/M/1 for infinite
+// buffers, and the M/M/1/K approximation for finite buffers. It errors
+// when the config is invalid or no steady state exists (infinite buffers
+// with offered load ≥ 1).
+func Predict(cfg Config) (Prediction, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return Prediction{}, err
 	}
-	if c.bufferCap == Infinite {
-		return analytic.BufferedInfinite(c.processors, c.thinkRate, c.serviceRate)
+	mode, _ := parseMode(cfg.Mode)
+	if mode == bus.Unbuffered {
+		return analytic.Unbuffered(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate), nil
 	}
-	return analytic.BufferedFinite(c.processors, c.thinkRate, c.serviceRate, c.bufferCap)
+	if cfg.BufferCap == Infinite {
+		return analytic.BufferedInfinite(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate)
+	}
+	return analytic.BufferedFinite(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate, cfg.BufferCap)
 }
+
+// Predict returns the closed-form prediction for this network's
+// configuration; see the package-level Predict.
+func (n *Network) Predict() (Prediction, error) { return Predict(n.cfg) }

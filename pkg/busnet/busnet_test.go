@@ -1,6 +1,7 @@
 package busnet
 
 import (
+	"math"
 	"reflect"
 	"testing"
 )
@@ -61,6 +62,125 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// FromConfig and New are two doors into the same immutable Config →
+// Network split: equal configs must produce bit-identical Results no
+// matter how they were built.
+func TestFromConfigMatchesOptions(t *testing.T) {
+	net, err := New(
+		WithProcessors(16),
+		WithThinkRate(0.05),
+		WithServiceRate(1),
+		WithBuffer(4),
+		WithSeed(42),
+		WithHorizon(5000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := FromConfig(net.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := other.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("FromConfig(net.Config()) diverged from the original network:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// The warmup options obey last-option-wins like every other option, so
+// a base option slice can be overridden by appending.
+func TestWarmupOptionsLastWins(t *testing.T) {
+	noWarm, err := New(WithHorizon(1000), WithWarmupFraction(0.1), WithWarmup(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := noWarm.Config().Warmup; got != 0 {
+		t.Fatalf("WithWarmup(0) after WithWarmupFraction: warmup = %v, want 0", got)
+	}
+	frac, err := New(WithHorizon(1000), WithWarmup(0), WithWarmupFraction(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frac.Config().Warmup; got != 200 {
+		t.Fatalf("WithWarmupFraction(0.2) after WithWarmup: warmup = %v, want 200", got)
+	}
+}
+
+func TestAtHorizonPreservesWarmupFraction(t *testing.T) {
+	cfg := DefaultConfig().AtHorizon(5000)
+	if cfg.Horizon != 5000 || cfg.Warmup != 500 {
+		t.Fatalf("AtHorizon(5000) = horizon %v warmup %v, want 5000/500", cfg.Horizon, cfg.Warmup)
+	}
+	if _, err := FromConfig(cfg); err != nil {
+		t.Fatalf("rescaled config must stay valid: %v", err)
+	}
+	zero := Config{}.AtHorizon(100)
+	if zero.Horizon != 100 || zero.Warmup != 0 {
+		t.Fatalf("AtHorizon on a zero config = %+v, want horizon 100, warmup 0", zero)
+	}
+}
+
+// A Config is a value: mutating the caller's copy after construction must
+// not reach into the network, and empty mode/arbiter strings normalize.
+func TestConfigIsImmutableValue(t *testing.T) {
+	cfg := DefaultConfig().AtHorizon(5000)
+	cfg.Warmup = 0
+	net, err := FromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Processors = 999
+	if net.Config().Processors == 999 {
+		t.Fatal("mutating the caller's Config leaked into the Network")
+	}
+	lit, err := FromConfig(Config{
+		Processors: 4, ThinkRate: 0.1, ServiceRate: 1, Horizon: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lit.Config()
+	if got.Mode != ModeUnbuffered || got.Arbiter != RoundRobin.String() {
+		t.Fatalf("empty mode/arbiter not normalized: %+v", got)
+	}
+}
+
+// Streams of one seed must be independent (different trajectories) yet
+// individually deterministic — the substructure replications build on.
+func TestStreamsAreIndependentReplications(t *testing.T) {
+	run := func(stream uint64) Results {
+		res, err := mustRun(t,
+			WithProcessors(8),
+			WithThinkRate(0.1),
+			WithServiceRate(1),
+			WithSeed(42),
+			WithStream(stream),
+			WithHorizon(5000),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s0, s1 := run(0), run(1)
+	if s0.MeanWait == s1.MeanWait && s0.Completions == s1.Completions {
+		t.Fatal("streams 0 and 1 produced identical trajectories; substreams not wired through")
+	}
+	if again := run(1); !reflect.DeepEqual(s1, again) {
+		t.Fatal("same (seed, stream) produced different Results")
+	}
+	if s0.Config.Stream != 0 || s1.Config.Stream != 1 {
+		t.Fatal("stream id not echoed in Results.Config")
+	}
+}
+
 func TestNewRejectsInvalidOptions(t *testing.T) {
 	tests := []struct {
 		name string
@@ -73,6 +193,14 @@ func TestNewRejectsInvalidOptions(t *testing.T) {
 		{"warmup past horizon", []Option{WithHorizon(100), WithWarmup(100)}},
 		{"negative warmup", []Option{WithWarmup(-1)}},
 		{"unknown arbiter", []Option{WithArbiter(ArbiterKind(99))}},
+		{"warmup fraction ≥ 1", []Option{WithWarmupFraction(1)}},
+		{"negative warmup fraction", []Option{WithWarmupFraction(-0.5)}},
+		{"NaN warmup fraction", []Option{WithWarmupFraction(math.NaN())}},
+		{"NaN warmup", []Option{WithWarmup(math.NaN())}},
+		{"NaN horizon", []Option{WithHorizon(math.NaN())}},
+		{"infinite horizon", []Option{WithHorizon(math.Inf(1))}},
+		{"infinite think rate", []Option{WithThinkRate(math.Inf(1))}},
+		{"infinite service rate", []Option{WithServiceRate(math.Inf(1))}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

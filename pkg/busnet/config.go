@@ -1,0 +1,157 @@
+package busnet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/busnet/busnet/internal/bus"
+)
+
+// Mode strings accepted by Config.Mode. The empty string normalizes to
+// ModeUnbuffered so zero-ish Config literals stay usable.
+const (
+	// ModeUnbuffered blocks the issuing processor until its request
+	// completes on the bus.
+	ModeUnbuffered = "unbuffered"
+	// ModeBuffered queues requests at the processor's bus interface so
+	// the processor keeps computing, up to BufferCap outstanding requests.
+	ModeBuffered = "buffered"
+)
+
+// Config is the complete, immutable description of one simulation
+// operating point. It is a plain comparable value type: copy it, tweak a
+// field, and hand the copy to FromConfig to fan one base configuration
+// out into a parameter grid or a set of replications — the struct itself
+// never runs anything and holds no simulation state.
+//
+// Mode and Arbiter are strings (see ModeUnbuffered/ModeBuffered and
+// ArbiterKind.String) so configs round-trip through JSON and CLI flags
+// without a registry. Seed picks the experiment; Stream picks the
+// replication substream within it — runs with equal (Seed, Stream) and
+// equal parameters are bit-identical, while different Streams of one Seed
+// are statistically independent.
+type Config struct {
+	Processors  int     `json:"processors"`
+	ThinkRate   float64 `json:"think_rate"`
+	ServiceRate float64 `json:"service_rate"`
+	Mode        string  `json:"mode"`
+	BufferCap   int     `json:"buffer_cap"` // -1 = infinite; meaningful only in buffered mode
+	Arbiter     string  `json:"arbiter"`
+	Seed        int64   `json:"seed"`
+	Stream      uint64  `json:"stream"`
+	Horizon     float64 `json:"horizon"`
+	Warmup      float64 `json:"warmup"`
+}
+
+// DefaultConfig returns the same baseline the functional options start
+// from: 8 processors, λ=0.1, μ=1, unbuffered, round-robin, seed 1,
+// horizon 100000 with a 10% warmup. Warmup is an absolute time, not a
+// fraction — when deriving configs with a different horizon, use
+// AtHorizon so the warmup rescales with it.
+func DefaultConfig() Config {
+	return Config{
+		Processors:  8,
+		ThinkRate:   0.1,
+		ServiceRate: 1.0,
+		Mode:        ModeUnbuffered,
+		BufferCap:   Infinite,
+		Arbiter:     RoundRobin.String(),
+		Seed:        1,
+		Horizon:     100_000,
+		Warmup:      10_000,
+	}
+}
+
+// AtHorizon returns a copy with the horizon set to h and the warmup
+// rescaled to keep its fraction of the run constant — the safe way to
+// shorten or lengthen a derived config without tripping the
+// warmup < horizon invariant or silently shrinking the truncated
+// transient. A non-positive current horizon keeps the warmup untouched.
+func (c Config) AtHorizon(h float64) Config {
+	if c.Horizon > 0 {
+		c.Warmup = c.Warmup / c.Horizon * h
+	}
+	c.Horizon = h
+	return c
+}
+
+// ParseArbiter maps an arbiter name (as produced by ArbiterKind.String)
+// back to its kind. The empty string parses as RoundRobin.
+func ParseArbiter(s string) (ArbiterKind, error) {
+	switch s {
+	case "", "round-robin":
+		return RoundRobin, nil
+	case "fixed-priority":
+		return FixedPriority, nil
+	default:
+		return 0, fmt.Errorf("busnet: unknown arbiter %q", s)
+	}
+}
+
+// parseMode maps a Mode string to the domain type; "" is unbuffered.
+func parseMode(s string) (bus.Mode, error) {
+	switch s {
+	case "", ModeUnbuffered:
+		return bus.Unbuffered, nil
+	case ModeBuffered:
+		return bus.Buffered, nil
+	default:
+		return 0, fmt.Errorf("busnet: unknown mode %q", s)
+	}
+}
+
+// normalized fills the empty-string Mode/Arbiter defaults so every
+// Network echoes canonical names.
+func (c Config) normalized() Config {
+	if c.Mode == "" {
+		c.Mode = ModeUnbuffered
+	}
+	if c.Arbiter == "" {
+		c.Arbiter = RoundRobin.String()
+	}
+	return c
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	if _, err := parseMode(c.Mode); err != nil {
+		return err
+	}
+	if _, err := ParseArbiter(c.Arbiter); err != nil {
+		return err
+	}
+	switch {
+	case !(c.Horizon > 0) || math.IsInf(c.Horizon, 1):
+		// +Inf would make RunUntil spin forever; NaN fails the > 0 test.
+		return fmt.Errorf("busnet: horizon = %v, need finite and > 0", c.Horizon)
+	case math.IsNaN(c.Warmup) || c.Warmup < 0 || c.Warmup >= c.Horizon:
+		// The explicit NaN check matters: NaN slips past both comparisons
+		// and would otherwise reach JSON encoding, which rejects it.
+		return fmt.Errorf("busnet: warmup = %v, need in [0, horizon)", c.Warmup)
+	}
+	// Domain-level constraints (processor count, rates, buffer capacity)
+	// are validated by bus.Config so the two layers cannot drift apart.
+	return c.busConfig().Validate()
+}
+
+// busConfig lowers the public value type to the domain model's config.
+// Unknown mode/arbiter strings lower to the defaults; Validate rejects
+// them first on every construction path.
+func (c Config) busConfig() bus.Config {
+	mode, _ := parseMode(c.Mode)
+	kind, _ := ParseArbiter(c.Arbiter)
+	bc := bus.Config{
+		Processors:  c.Processors,
+		ThinkRate:   c.ThinkRate,
+		ServiceRate: c.ServiceRate,
+		Mode:        mode,
+		BufferCap:   c.BufferCap,
+	}
+	switch kind {
+	case FixedPriority:
+		bc.Arbiter = bus.NewFixedPriority()
+	default:
+		bc.Arbiter = bus.NewRoundRobin()
+	}
+	return bc
+}

@@ -55,7 +55,7 @@ func TestSimulationMatchesAnalytic(t *testing.T) {
 				WithServiceRate(1),
 				WithSeed(42),
 				WithHorizon(400_000),
-				WithWarmup(40_000),
+				WithWarmupFraction(0.1),
 			}, tt.opts...)
 			net, err := New(opts...)
 			if err != nil {

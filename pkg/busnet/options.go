@@ -28,112 +28,87 @@ func (k ArbiterKind) String() string {
 	}
 }
 
-// Infinite marks an unbounded buffer in WithBuffer.
+// Infinite marks an unbounded buffer in WithBuffer and Config.BufferCap.
 const Infinite = bus.Infinite
 
-type config struct {
-	processors  int
-	thinkRate   float64
-	serviceRate float64
-	mode        bus.Mode
-	bufferCap   int
-	arbiter     ArbiterKind
-	seed        int64
-	horizon     float64
-	warmup      float64
-	warmupSet   bool
-}
+// warmupSetting records which warmup option, if any, was applied last,
+// so the pair follows the same last-option-wins rule as every other
+// functional option.
+type warmupSetting int
 
-func defaultConfig() config {
-	return config{
-		processors:  8,
-		thinkRate:   0.1,
-		serviceRate: 1.0,
-		mode:        bus.Unbuffered,
-		bufferCap:   Infinite,
-		arbiter:     RoundRobin,
-		seed:        1,
-		horizon:     100_000,
-	}
+const (
+	warmupDefault  warmupSetting = iota // neither set: 10% of the horizon
+	warmupAbsolute                      // WithWarmup: Config.Warmup holds the time
+	warmupFraction                      // WithWarmupFraction: scale the final horizon
+)
+
+// builder accumulates functional options into a Config plus the bits of
+// bookkeeping — "how was warmup specified?" — that a plain value type
+// cannot carry. New resolves it into an immutable Config.
+type builder struct {
+	cfg        Config
+	warmup     warmupSetting
+	warmupFrac float64
 }
 
 // Option configures a Network at construction time.
-type Option func(*config)
+type Option func(*builder)
 
 // WithProcessors sets the number of processors N on the bus.
-func WithProcessors(n int) Option { return func(c *config) { c.processors = n } }
+func WithProcessors(n int) Option { return func(b *builder) { b.cfg.Processors = n } }
 
 // WithThinkRate sets λ, the rate at which each thinking processor
 // generates bus requests (mean think time 1/λ).
-func WithThinkRate(lambda float64) Option { return func(c *config) { c.thinkRate = lambda } }
+func WithThinkRate(lambda float64) Option { return func(b *builder) { b.cfg.ThinkRate = lambda } }
 
 // WithServiceRate sets μ, the bus service rate (mean transaction 1/μ).
-func WithServiceRate(mu float64) Option { return func(c *config) { c.serviceRate = mu } }
+func WithServiceRate(mu float64) Option { return func(b *builder) { b.cfg.ServiceRate = mu } }
 
 // WithUnbuffered selects the unbuffered regime: a processor blocks from
 // issuing a request until the bus has served it. This is the default.
 func WithUnbuffered() Option {
-	return func(c *config) { c.mode = bus.Unbuffered }
+	return func(b *builder) { b.cfg.Mode = ModeUnbuffered }
 }
 
 // WithBuffer selects the buffered regime with the given per-processor
 // interface capacity. Pass Infinite (or any value ≤ 0) for unbounded
 // queues.
 func WithBuffer(capacity int) Option {
-	return func(c *config) {
-		c.mode = bus.Buffered
+	return func(b *builder) {
+		b.cfg.Mode = ModeBuffered
 		if capacity <= 0 {
 			capacity = Infinite
 		}
-		c.bufferCap = capacity
+		b.cfg.BufferCap = capacity
 	}
 }
 
 // WithArbiter selects the arbitration policy.
-func WithArbiter(kind ArbiterKind) Option { return func(c *config) { c.arbiter = kind } }
+func WithArbiter(kind ArbiterKind) Option { return func(b *builder) { b.cfg.Arbiter = kind.String() } }
 
 // WithSeed sets the RNG seed. Runs with equal configuration and seed
 // produce identical Results.
-func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed int64) Option { return func(b *builder) { b.cfg.Seed = seed } }
+
+// WithStream selects an RNG substream of the seed. Different streams of
+// one seed are statistically independent — use one stream per replication
+// so a whole experiment reproduces from a single seed. Defaults to 0.
+func WithStream(stream uint64) Option { return func(b *builder) { b.cfg.Stream = stream } }
 
 // WithHorizon sets the simulated time at which the run stops.
-func WithHorizon(t float64) Option { return func(c *config) { c.horizon = t } }
+func WithHorizon(t float64) Option { return func(b *builder) { b.cfg.Horizon = t } }
 
 // WithWarmup sets the simulated time at which statistics collection
 // starts, discarding the initial transient. Defaults to 10% of the
 // horizon.
 func WithWarmup(t float64) Option {
-	return func(c *config) { c.warmup = t; c.warmupSet = true }
+	return func(b *builder) { b.cfg.Warmup = t; b.warmup = warmupAbsolute }
 }
 
-// validate assumes New has already resolved the default warmup.
-func (c config) validate() error {
-	switch {
-	case c.arbiter != RoundRobin && c.arbiter != FixedPriority:
-		return fmt.Errorf("busnet: unknown arbiter kind %d", int(c.arbiter))
-	case !(c.horizon > 0):
-		return fmt.Errorf("busnet: horizon = %v, need > 0", c.horizon)
-	case c.warmup < 0 || c.warmup >= c.horizon:
-		return fmt.Errorf("busnet: warmup = %v, need in [0, horizon)", c.warmup)
-	}
-	// Domain-level constraints (processor count, rates, buffer capacity)
-	// are validated by bus.Config so the two layers cannot drift apart.
-	return c.busConfig().Validate()
-}
-
-func (c config) busConfig() bus.Config {
-	bc := bus.Config{
-		Processors:  c.processors,
-		ThinkRate:   c.thinkRate,
-		ServiceRate: c.serviceRate,
-		Mode:        c.mode,
-		BufferCap:   c.bufferCap,
-	}
-	switch c.arbiter {
-	case FixedPriority:
-		bc.Arbiter = bus.NewFixedPriority()
-	default:
-		bc.Arbiter = bus.NewRoundRobin()
-	}
-	return bc
+// WithWarmupFraction sets the warmup as a fraction of the horizon, so the
+// truncation point scales when the horizon changes. As with every
+// option, the last of WithWarmup/WithWarmupFraction wins; fractions
+// outside [0, 1) are rejected by New.
+func WithWarmupFraction(f float64) Option {
+	return func(b *builder) { b.warmupFrac = f; b.warmup = warmupFraction }
 }

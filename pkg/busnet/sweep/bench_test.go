@@ -1,0 +1,42 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+// BenchmarkSweepParallel measures one fixed experiment — an 8-point
+// unbuffered curve over N with 4 replications per point — at increasing
+// worker counts. Jobs are independent simulations with no shared state,
+// so speedup should stay near-linear until the pool exhausts the
+// hardware; BENCH_sweep.json records the numbers per machine.
+func BenchmarkSweepParallel(b *testing.B) {
+	base := busnet.DefaultConfig().AtHorizon(20_000)
+	base.Seed = 42
+	spec := Spec{
+		Grid: Grid{
+			Base:       base,
+			Processors: []int{2, 4, 8, 12, 16, 24, 32, 64},
+		},
+		Replications: 4,
+	}
+	workers := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := spec
+			s.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+// Grid declares a parameter grid: a base configuration plus one optional
+// axis per sweepable parameter. Points expands the cartesian product of
+// every non-empty axis, holding the base value for the rest — so a Grid
+// with only Processors set describes a 1-D curve over N, and one with
+// both ThinkRates and BufferCaps set an |λ|×|cap| surface.
+type Grid struct {
+	Base         busnet.Config `json:"base"`
+	Processors   []int         `json:"processors,omitempty"`
+	ThinkRates   []float64     `json:"think_rates,omitempty"`
+	ServiceRates []float64     `json:"service_rates,omitempty"`
+	Modes        []string      `json:"modes,omitempty"`
+	BufferCaps   []int         `json:"buffer_caps,omitempty"`
+	Arbiters     []string      `json:"arbiters,omitempty"`
+}
+
+// axis returns the sweep values for one parameter: the axis itself, or
+// the base value as a singleton when the axis is empty.
+func axis[T any](vals []T, base T) []T {
+	if len(vals) == 0 {
+		return []T{base}
+	}
+	return vals
+}
+
+// Points expands the grid into validated configs in a fixed order —
+// processors outermost, then think rate, service rate, mode, buffer
+// capacity, and arbiter innermost — so equal grids always enumerate
+// equal point sequences. Every point inherits the base's Seed, Stream,
+// Horizon, and Warmup.
+func (g Grid) Points() ([]busnet.Config, error) {
+	var points []busnet.Config
+	for _, n := range axis(g.Processors, g.Base.Processors) {
+		for _, lambda := range axis(g.ThinkRates, g.Base.ThinkRate) {
+			for _, mu := range axis(g.ServiceRates, g.Base.ServiceRate) {
+				for _, mode := range axis(g.Modes, g.Base.Mode) {
+					for _, capacity := range axis(g.BufferCaps, g.Base.BufferCap) {
+						for _, arb := range axis(g.Arbiters, g.Base.Arbiter) {
+							cfg := g.Base
+							cfg.Processors = n
+							cfg.ThinkRate = lambda
+							cfg.ServiceRate = mu
+							cfg.Mode = mode
+							cfg.BufferCap = capacity
+							cfg.Arbiter = arb
+							if err := cfg.Validate(); err != nil {
+								return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+							}
+							points = append(points, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,172 @@
+// Package sweep is the experiment engine over pkg/busnet: it expands a
+// parameter Grid into configs, runs R independent replications of every
+// point across a bounded worker pool, and reduces the replications into
+// mean ± 95% confidence intervals with the matching closed-form
+// prediction attached wherever a steady state exists. This is the
+// paper's methodology — whole curves cross-checked against analysis,
+// not single operating points.
+//
+// Results are deterministic: replication r of every point runs RNG
+// substream base.Stream + r of the spec's seed (common random numbers
+// across points, independence across replications), and workers only
+// ever write to their job's own slot, so the output is bit-identical
+// for any worker count.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+// DefaultReplications is used when Spec.Replications is unset; ten
+// replications give a t-based CI enough degrees of freedom to be
+// meaningful without dominating runtime.
+const DefaultReplications = 10
+
+// Spec describes one experiment: the grid of operating points, how many
+// independent replications to run per point, and how many worker
+// goroutines may run simultaneously. Workers ≤ 0 means GOMAXPROCS-many;
+// the worker count never affects the numbers produced, only wall-clock
+// time.
+type Spec struct {
+	Grid         Grid `json:"grid"`
+	Replications int  `json:"replications"`
+	Workers      int  `json:"-"`
+	// KeepRuns retains every replication's full Results in the point
+	// (large output; off by default).
+	KeepRuns bool `json:"keep_runs,omitempty"`
+}
+
+// PointResult is one grid point reduced across its replications.
+// Analytic is nil when no steady state exists (e.g. infinite buffers at
+// offered load ≥ 1).
+type PointResult struct {
+	Config       busnet.Config      `json:"config"`
+	Analytic     *busnet.Prediction `json:"analytic,omitempty"`
+	Utilization  Stat               `json:"utilization"`
+	Throughput   Stat               `json:"throughput"`
+	MeanWait     Stat               `json:"mean_wait"`
+	MeanQueueLen Stat               `json:"mean_queue_len"`
+	MeanResponse Stat               `json:"mean_response"`
+	// Grants is the per-processor bus-grant count summed across the
+	// point's replications; its skew is the fairness/starvation signal
+	// arbiter comparisons read.
+	Grants []uint64         `json:"grants"`
+	Runs   []busnet.Results `json:"runs,omitempty"`
+}
+
+// Result is a completed sweep. Points appear in Grid.Points order.
+type Result struct {
+	Replications int           `json:"replications"`
+	Points       []PointResult `json:"points"`
+}
+
+// Run executes the spec. Every (point, replication) job is simulated on
+// its own Network with an independent RNG substream, jobs are fanned out
+// over the worker pool, and each worker writes only to its job's slot in
+// a preallocated slice — so Run's output depends on the spec alone,
+// never on scheduling. The first failing job (in job order) aborts the
+// sweep with its error.
+func Run(spec Spec) (Result, error) {
+	points, err := spec.Grid.Points()
+	if err != nil {
+		return Result{}, err
+	}
+	if len(points) == 0 {
+		return Result{}, fmt.Errorf("sweep: grid expanded to no points")
+	}
+	reps := spec.Replications
+	if reps <= 0 {
+		reps = DefaultReplications
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	nJobs := len(points) * reps
+	if workers > nJobs {
+		workers = nJobs
+	}
+	runs := make([]busnet.Results, nJobs)
+	errs := make([]error, nJobs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				runs[j], errs[j] = runJob(points[j/reps], j%reps)
+			}
+		}()
+	}
+	for j := 0; j < nJobs; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("sweep: point %d replication %d: %w", j/reps, j%reps, err)
+		}
+	}
+
+	out := Result{Replications: reps, Points: make([]PointResult, len(points))}
+	for p, cfg := range points {
+		out.Points[p] = reduce(cfg, runs[p*reps:(p+1)*reps], spec.KeepRuns)
+	}
+	return out, nil
+}
+
+// runJob simulates replication rep of one grid point on RNG substream
+// base.Stream + rep: replication seeds are a function of the experiment
+// seed and the replication index alone, shared across points (common
+// random numbers) and independent within a point.
+func runJob(cfg busnet.Config, rep int) (busnet.Results, error) {
+	cfg.Stream += uint64(rep)
+	net, err := busnet.FromConfig(cfg)
+	if err != nil {
+		return busnet.Results{}, err
+	}
+	return net.Run()
+}
+
+// reduce collapses one point's replications into CI statistics and
+// attaches the closed-form prediction when one exists.
+func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
+	pick := func(f func(busnet.Results) float64) Stat {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r)
+		}
+		return summarize(xs)
+	}
+	pr := PointResult{
+		// The point's canonical normalized config as echoed by
+		// replication 0's run; its Stream is the grid base's stream
+		// (replication r ran base.Stream + r).
+		Config:       runs[0].Config,
+		Utilization:  pick(func(r busnet.Results) float64 { return r.Utilization }),
+		Throughput:   pick(func(r busnet.Results) float64 { return r.Throughput }),
+		MeanWait:     pick(func(r busnet.Results) float64 { return r.MeanWait }),
+		MeanQueueLen: pick(func(r busnet.Results) float64 { return r.MeanQueueLen }),
+		MeanResponse: pick(func(r busnet.Results) float64 { return r.MeanResponse }),
+		Grants:       make([]uint64, len(runs[0].Grants)),
+	}
+	for _, r := range runs {
+		for i, g := range r.Grants {
+			pr.Grants[i] += g
+		}
+	}
+	if pred, err := busnet.Predict(cfg); err == nil {
+		pr.Analytic = &pred
+	}
+	if keep {
+		pr.Runs = runs
+	}
+	return pr
+}

@@ -1,0 +1,243 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+func testBase() busnet.Config {
+	cfg := busnet.DefaultConfig().AtHorizon(3000)
+	cfg.Seed = 42
+	return cfg
+}
+
+func TestGridPoints(t *testing.T) {
+	g := Grid{
+		Base:       testBase(),
+		Processors: []int{2, 4, 8},
+		ThinkRates: []float64{0.05, 0.1},
+		BufferCaps: []int{1, busnet.Infinite},
+	}
+	g.Base.Mode = busnet.ModeBuffered
+	points, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3*2*2 {
+		t.Fatalf("expanded %d points, want 12", len(points))
+	}
+	// Fixed axis order: processors outermost, buffer capacity inner.
+	if points[0].Processors != 2 || points[0].ThinkRate != 0.05 || points[0].BufferCap != 1 {
+		t.Fatalf("unexpected first point: %+v", points[0])
+	}
+	if points[1].BufferCap != busnet.Infinite {
+		t.Fatalf("buffer capacity should vary innermost: %+v", points[1])
+	}
+	if points[11].Processors != 8 || points[11].ThinkRate != 0.1 {
+		t.Fatalf("unexpected last point: %+v", points[11])
+	}
+	for _, p := range points {
+		if p.ServiceRate != g.Base.ServiceRate || p.Seed != 42 || p.Horizon != 3000 {
+			t.Fatalf("point did not inherit base values: %+v", p)
+		}
+	}
+}
+
+func TestGridEmptyAxesUseBase(t *testing.T) {
+	points, err := Grid{Base: testBase()}.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("axis-free grid expanded to %d points, want 1", len(points))
+	}
+}
+
+func TestGridRejectsInvalidPoint(t *testing.T) {
+	g := Grid{Base: testBase(), Processors: []int{4, 0}}
+	if _, err := g.Points(); err == nil {
+		t.Fatal("grid with an invalid point expanded without error")
+	}
+}
+
+// The acceptance criterion for the experiment engine: the worker count
+// is an execution detail, so sweeps must be bit-exact across any pool
+// size — same points, same replication substreams, same reduction.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Grid: Grid{
+			Base:       testBase(),
+			Processors: []int{2, 4, 8, 16},
+		},
+		Replications: 4,
+	}
+	render := func(workers int) []byte {
+		s := spec
+		s.Workers = workers
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := render(1)
+	if !bytes.Equal(one, render(8)) {
+		t.Fatal("workers=1 vs workers=8 produced different JSON for the same spec")
+	}
+	if !bytes.Equal(one, render(3)) {
+		t.Fatal("workers=1 vs workers=3 produced different JSON for the same spec")
+	}
+}
+
+// Replications within a point must use independent RNG substreams: every
+// metric with nonzero randomness should vary across replications, and
+// the reduction must see that spread.
+func TestReplicationsAreIndependent(t *testing.T) {
+	res, err := Run(Spec{
+		Grid:         Grid{Base: testBase()},
+		Replications: 8,
+		Workers:      2,
+		KeepRuns:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if len(pt.Runs) != 8 {
+		t.Fatalf("KeepRuns retained %d runs, want 8", len(pt.Runs))
+	}
+	seen := map[float64]bool{}
+	for r, run := range pt.Runs {
+		if run.Config.Stream != uint64(r) {
+			t.Fatalf("replication %d ran stream %d, want %d", r, run.Config.Stream, r)
+		}
+		seen[run.MeanWait] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct mean waits across 8 replications; substreams not independent", len(seen))
+	}
+	if !(pt.MeanWait.StdDev > 0) || !(pt.MeanWait.CI95 > 0) {
+		t.Fatalf("replication spread not reflected in the CI: %+v", pt.MeanWait)
+	}
+	if pt.MeanWait.Lo >= pt.MeanWait.Mean || pt.MeanWait.Hi <= pt.MeanWait.Mean {
+		t.Fatalf("CI bounds do not bracket the mean: %+v", pt.MeanWait)
+	}
+	if len(pt.Grants) != pt.Config.Processors {
+		t.Fatalf("grants has %d entries, want one per processor (%d)", len(pt.Grants), pt.Config.Processors)
+	}
+	var total, fromRuns uint64
+	for _, g := range pt.Grants {
+		total += g
+	}
+	for _, run := range pt.Runs {
+		for _, g := range run.Grants {
+			fromRuns += g
+		}
+	}
+	if total == 0 || total != fromRuns {
+		t.Fatalf("point grants %d != sum over replications %d", total, fromRuns)
+	}
+}
+
+// The CI must cover the exact analytic value: unbuffered mode is the
+// machine-repairman model with no approximation error, so with a long
+// horizon the true mean lies inside (a modestly widened) interval.
+func TestCICoversAnalyticTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon statistical validation")
+	}
+	base := testBase().AtHorizon(200_000)
+	res, err := Run(Spec{
+		Grid:         Grid{Base: base, Processors: []int{4, 16}},
+		Replications: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		if pt.Analytic == nil {
+			t.Fatalf("n=%d: analytic prediction missing", pt.Config.Processors)
+		}
+		// 2× the half-width keeps the deterministic check robust (a plain
+		// 95% CI misses the truth 1 time in 20 by construction).
+		for _, m := range []struct {
+			name  string
+			s     Stat
+			truth float64
+		}{
+			{"utilization", pt.Utilization, pt.Analytic.Utilization},
+			{"mean_wait", pt.MeanWait, pt.Analytic.MeanWait},
+		} {
+			if math.Abs(m.s.Mean-m.truth) > 2*m.s.CI95+1e-9 {
+				t.Errorf("n=%d %s: |%v - %v| outside 2×CI %v",
+					pt.Config.Processors, m.name, m.s.Mean, m.truth, m.s.CI95)
+			}
+		}
+	}
+}
+
+// Analytic predictions attach exactly where a steady state exists.
+func TestAnalyticAttachment(t *testing.T) {
+	base := testBase()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	base.Processors = 16
+	// ρ = Nλ/μ: 0.48 stable, 1.6 unstable.
+	res, err := Run(Spec{
+		Grid:         Grid{Base: base, ThinkRates: []float64{0.03, 0.1}},
+		Replications: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Analytic == nil {
+		t.Error("stable point missing analytic prediction")
+	}
+	if res.Points[1].Analytic != nil {
+		t.Error("unstable point (ρ=1.6) has an analytic prediction; no steady state exists")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v, want 3", s.Mean)
+	}
+	// sd = sqrt(2.5); hw = t(4)=2.776 · sd/√5
+	wantSD := math.Sqrt(2.5)
+	if math.Abs(s.StdDev-wantSD) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev, wantSD)
+	}
+	wantHW := 2.776 * wantSD / math.Sqrt(5)
+	if math.Abs(s.CI95-wantHW) > 1e-12 {
+		t.Fatalf("ci95 = %v, want %v", s.CI95, wantHW)
+	}
+	if s.Lo != s.Mean-s.CI95 || s.Hi != s.Mean+s.CI95 {
+		t.Fatalf("bounds inconsistent: %+v", s)
+	}
+	if one := summarize([]float64{7}); one.Mean != 7 || one.CI95 != 0 || one.Lo != 7 || one.Hi != 7 {
+		t.Fatalf("single replication should collapse to the point estimate: %+v", one)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 4: 2.776, 30: 2.042, 35: 2.042, 45: 2.021, 80: 2.000, 120: 1.980, 500: 1.980}
+	for df, want := range cases {
+		if got := tCritical95(df); got != want {
+			t.Errorf("t(%d) = %v, want %v", df, got, want)
+		}
+	}
+	for df := 2; df <= 200; df++ {
+		if tCritical95(df) > tCritical95(df-1) {
+			t.Fatalf("t must be nonincreasing in df; broke at df=%d", df)
+		}
+	}
+}
