@@ -14,6 +14,7 @@ import (
 var csvHeader = []string{
 	"scenario", "curve", "point",
 	"processors", "think_rate", "service_rate", "mode", "buffer_cap", "arbiter",
+	"weights", "traffic", "traffic_detail", "mean_think_rate",
 	"seed", "horizon", "warmup", "replications",
 	"util_mean", "util_ci95",
 	"throughput_mean", "throughput_ci95",
@@ -40,6 +41,8 @@ func writeCSV(w io.Writer, report Report) error {
 				report.Scenario, curve.Name, i(p),
 				i(pt.Config.Processors), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
 				pt.Config.Mode, i(pt.Config.BufferCap), pt.Config.Arbiter,
+				pt.Config.Weights, pt.Config.Traffic.Kind, pt.Config.Traffic.Detail(),
+				f(pt.Config.MeanThinkRate()),
 				strconv.FormatInt(pt.Config.Seed, 10), f(pt.Config.Horizon), f(pt.Config.Warmup),
 				i(curve.Result.Replications),
 			}

@@ -37,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		name    = fs.String("scenario", "", "scenario to run (see -list)")
 		list    = fs.Bool("list", false, "list available scenarios and exit")
+		points  = fs.Bool("points", false, "print the scenario's declared grid-point count and exit")
 		seed    = fs.Int64("seed", 42, "RNG seed; equal seeds reproduce reports exactly")
 		horizon = fs.Float64("horizon", 100_000, "simulated time per run (10% is warmup)")
 		reps    = fs.Int("replications", 10, "independent replications per grid point")
@@ -68,6 +69,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown scenario %q; use -list to see the registry", *name)
 	}
 	params := Params{Seed: *seed, Horizon: *horizon, Replications: *reps, Workers: *workers}
+	if *points {
+		// The declared point count, for deriving row-count checks (CI's
+		// smoke test) from the registry instead of hard-coding them.
+		n, err := sc.Points(params)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		fmt.Fprintln(stdout, n)
+		return nil
+	}
 	curves, err := sc.Run(params)
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -127,6 +129,31 @@ func TestWorkerCountInvisibleInOutput(t *testing.T) {
 	}
 }
 
+// col returns an accessor into CSV rows by header name, so assertions
+// survive column insertions.
+func col(t *testing.T, header []string, name string) func(row []string) string {
+	t.Helper()
+	for i, c := range header {
+		if c == name {
+			return func(row []string) string { return row[i] }
+		}
+	}
+	t.Fatalf("CSV header has no column %q", name)
+	return nil
+}
+
+// declaredPoints returns the scenario's own point count — the same
+// number `busnet-sim -points` prints — so row-count assertions are
+// derived from the registry instead of hard-coded.
+func declaredPoints(t *testing.T, scenario string, p Params) int {
+	t.Helper()
+	n, err := registry[scenario].Points(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func TestCSVOutput(t *testing.T) {
 	var out, errOut bytes.Buffer
 	args := []string{"-scenario", "finite-buffer", "-horizon", "1500", "-replications", "2", "-format", "csv"}
@@ -137,12 +164,13 @@ func TestCSVOutput(t *testing.T) {
 	if err != nil {
 		t.Fatalf("output is not valid CSV: %v", err)
 	}
-	if len(rows) != 1+9 {
-		t.Fatalf("got %d rows, want header + 9 points", len(rows))
+	want := declaredPoints(t, "finite-buffer", Params{Seed: 42, Horizon: 1500, Replications: 2})
+	if len(rows) != 1+want {
+		t.Fatalf("got %d rows, want header + %d declared points", len(rows), want)
 	}
-	for i, col := range csvHeader {
-		if rows[0][i] != col {
-			t.Fatalf("header column %d = %q, want %q", i, rows[0][i], col)
+	for i, c := range csvHeader {
+		if rows[0][i] != c {
+			t.Fatalf("header column %d = %q, want %q", i, rows[0][i], c)
 		}
 	}
 	for _, row := range rows[1:] {
@@ -156,14 +184,25 @@ func TestCSVOutput(t *testing.T) {
 	// The last point is the unbounded buffer: cap −1, analytic present,
 	// and the run's provenance (seed, horizon) rides along in every row.
 	last := rows[len(rows)-1]
-	if last[7] != "-1" {
-		t.Fatalf("last point buffer_cap = %q, want -1 (Infinite)", last[7])
+	if v := col(t, rows[0], "buffer_cap")(last); v != "-1" {
+		t.Fatalf("last point buffer_cap = %q, want -1 (Infinite)", v)
 	}
-	if last[9] != "42" || last[10] != "1500" {
-		t.Fatalf("seed/horizon columns = %q/%q, want 42/1500", last[9], last[10])
+	if s, h := col(t, rows[0], "seed")(last), col(t, rows[0], "horizon")(last); s != "42" || h != "1500" {
+		t.Fatalf("seed/horizon columns = %q/%q, want 42/1500", s, h)
 	}
-	if last[23] == "" {
+	if col(t, rows[0], "analytic_util")(last) == "" {
 		t.Fatal("stable point missing analytic utilization in CSV")
+	}
+	// Poisson points carry the provenance defaults for the new columns:
+	// canonical kind, no shape detail, mean rate = think rate.
+	if k := col(t, rows[0], "traffic")(last); k != "poisson" {
+		t.Fatalf("traffic column = %q, want poisson", k)
+	}
+	if d := col(t, rows[0], "traffic_detail")(last); d != "" {
+		t.Fatalf("poisson traffic_detail = %q, want empty", d)
+	}
+	if m, l := col(t, rows[0], "mean_think_rate")(last), col(t, rows[0], "think_rate")(last); m != l {
+		t.Fatalf("poisson mean_think_rate %q != think_rate %q", m, l)
 	}
 }
 
@@ -210,6 +249,132 @@ func TestArbiterFairnessExposesGrants(t *testing.T) {
 	}
 	if float64(max) > 1.2*float64(min) {
 		t.Errorf("round-robin at saturation should be fair: grants %v", rr.Grants)
+	}
+}
+
+// -points prints the declared grid-point count, and every scenario's
+// CSV report must carry exactly that many data rows — the contract the
+// CI smoke test is built on.
+func TestPointsFlagMatchesCSVRows(t *testing.T) {
+	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter"} {
+		t.Run(name, func(t *testing.T) {
+			var pointsOut, errOut bytes.Buffer
+			if err := run([]string{"-scenario", name, "-points"}, &pointsOut, &errOut); err != nil {
+				t.Fatal(err)
+			}
+			declared, err := strconv.Atoi(strings.TrimSpace(pointsOut.String()))
+			if err != nil {
+				t.Fatalf("-points output %q is not an integer: %v", pointsOut.String(), err)
+			}
+			if declared < 1 {
+				t.Fatalf("-points = %d, want ≥ 1", declared)
+			}
+			var out bytes.Buffer
+			args := []string{"-scenario", name, "-horizon", "1500", "-replications", "2", "-format", "csv"}
+			if err := run(args, &out, &errOut); err != nil {
+				t.Fatal(err)
+			}
+			rows, err := csv.NewReader(&out).ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(rows) - 1; got != declared {
+				t.Fatalf("CSV carries %d data rows, -points declared %d", got, declared)
+			}
+		})
+	}
+}
+
+// The bursty curves hold the offered load fixed while sweeping shape:
+// every point must echo the same mean think rate, the burstiness
+// parameters must ride along as provenance, and mean wait must grow
+// monotonically from the Poisson end to the burstiest end of the MMPP2
+// curve — the paper's buffering story extended to traffic shape.
+func TestBurstyCurvesFixedLoadAndProvenance(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "bursty-curves", "-seed", "42", "-horizon", "60000", "-replications", "3", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	curve := col(t, header, "curve")
+	kind := col(t, header, "traffic")
+	detail := col(t, header, "traffic_detail")
+	meanRate := col(t, header, "mean_think_rate")
+	waitMean := col(t, header, "wait_mean")
+	var mmppWaits []float64
+	for _, row := range rows[1:] {
+		got, err := strconv.ParseFloat(meanRate(row), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The mean-preserving parameterizations recompute the stationary
+		// rate from their own parameters, so allow for rounding.
+		if math.Abs(got-0.0375) > 1e-12 {
+			t.Fatalf("curve %s: mean_think_rate = %v, want 0.0375 on every point", curve(row), got)
+		}
+		switch kind(row) {
+		case "mmpp2":
+			if !strings.Contains(detail(row), "rate0=") || !strings.Contains(detail(row), "switch01=") {
+				t.Fatalf("mmpp2 traffic_detail %q missing parameters", detail(row))
+			}
+		case "onoff":
+			if !strings.Contains(detail(row), "duty_cycle=") {
+				t.Fatalf("onoff traffic_detail %q missing parameters", detail(row))
+			}
+		}
+		if curve(row) == "mmpp2-burstiness" {
+			w, err := strconv.ParseFloat(waitMean(row), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmppWaits = append(mmppWaits, w)
+		}
+	}
+	if len(mmppWaits) < 5 {
+		t.Fatalf("mmpp2-burstiness produced %d points, want the declared sweep", len(mmppWaits))
+	}
+	if last, first := mmppWaits[len(mmppWaits)-1], mmppWaits[0]; last < 3*first {
+		t.Errorf("burstiest MMPP2 wait %.3f not ≫ Poisson-equivalent wait %.3f at equal load", last, first)
+	}
+}
+
+// Weighted round-robin under saturation: grant shares follow the weight
+// ratios, while the plain round-robin point of the same scenario stays
+// uniform.
+func TestWeightedArbiterGrantShares(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "weighted-arbiter", "-horizon", "5000", "-replications", "3"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	points := report.Curves[0].Result.Points
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want round-robin and weighted-round-robin", len(points))
+	}
+	rr, wrr := points[0], points[1]
+	if rr.Config.Arbiter != "round-robin" || wrr.Config.Arbiter != "weighted-round-robin" {
+		t.Fatalf("unexpected point order: %q, %q", rr.Config.Arbiter, wrr.Config.Arbiter)
+	}
+	if wrr.Config.Weights != "8,4,2,1,1,1,1,1" {
+		t.Fatalf("weights not echoed: %q", wrr.Config.Weights)
+	}
+	// Processor 0 (weight 8) vs processor 7 (weight 1): the share ratio
+	// must sit near 8, nowhere near round-robin's 1.
+	ratio := float64(wrr.Grants[0]) / float64(wrr.Grants[7])
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("weighted grant ratio p0/p7 = %.2f, want ≈ 8 (grants %v)", ratio, wrr.Grants)
+	}
+	if rrRatio := float64(rr.Grants[0]) / float64(rr.Grants[7]); rrRatio > 1.2 {
+		t.Errorf("plain round-robin skewed: p0/p7 = %.2f (grants %v)", rrRatio, rr.Grants)
 	}
 }
 

@@ -53,6 +53,23 @@ type Scenario struct {
 	Curves      []Curve
 }
 
+// Points returns the total number of grid points the scenario declares
+// across its curves — the row count a CSV report will carry below the
+// header. CI derives its smoke-test assertion from this instead of a
+// hard-coded count, so grid changes cannot silently desynchronize the
+// check.
+func (s Scenario) Points(p Params) (int, error) {
+	total := 0
+	for _, c := range s.Curves {
+		points, err := c.grid(p).Points()
+		if err != nil {
+			return 0, fmt.Errorf("curve %s: %w", c.Name, err)
+		}
+		total += len(points)
+	}
+	return total, nil
+}
+
 // Run executes every curve of the scenario as a parallel sweep.
 func (s Scenario) Run(p Params) ([]CurveResult, error) {
 	out := make([]CurveResult, 0, len(s.Curves))
@@ -126,6 +143,96 @@ var (
 	}
 )
 
+// Traffic-shape curves. All three hold the long-run per-station request
+// rate at burstyMeanRate (offered load ρ = N·λ̄/μ = 0.6 at N=16) so the
+// only thing moving along each curve is the shape of the arrival
+// process — the knob the buffering behavior is supposed to respond to.
+const (
+	burstyProcessors = 16
+	burstyMeanRate   = 0.0375 // λ̄ per station: ρ = 16·0.0375/1 = 0.6
+	burstyDwell      = 100.0  // mean modulation dwell, in bus service times
+)
+
+// burstyBase is the shared operating point of the bursty curves:
+// buffered mode with unbounded queues, so every burst is absorbed into
+// queueing delay rather than blocking, and ThinkRate echoing the mean
+// rate for provenance (MMPP2/OnOff specs carry their own rates).
+func burstyBase(p Params) busnet.Config {
+	base := p.base()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	base.Processors = burstyProcessors
+	base.ThinkRate = burstyMeanRate
+	return base
+}
+
+// burstFrac is the stationary fraction of time a bursty station spends
+// in its burst state; see busnet.RareBurstMMPP2 for why it stays well
+// below ½.
+const burstFrac = 0.1
+
+// meanMMPP2 pins the curves' burst fraction into the shared
+// mean-preserving parameterization.
+func meanMMPP2(mean, ratio, dwell float64) busnet.Traffic {
+	return busnet.RareBurstMMPP2(mean, ratio, dwell, burstFrac)
+}
+
+// meanOnOff builds a mean-preserving burst/idle shape: arrivals at
+// mean/duty while ON, so the long-run rate is exactly mean at any duty.
+func meanOnOff(mean, duty, cycle float64) busnet.Traffic {
+	return busnet.OnOffTraffic(mean/duty, duty, cycle)
+}
+
+var (
+	curveMMPP2Burstiness = Curve{
+		Name:   "mmpp2-burstiness",
+		Figure: "wait and queue length vs burstiness, fixed offered load",
+		Description: "Mean-preserving MMPP2 at N=16, ρ=0.6: burst/calm rate ratio swept 1…64 " +
+			"(ratio 1 is exactly Poisson), bursts 10% of the time with mean dwell 100 service times",
+		grid: func(p Params) sweep.Grid {
+			ratios := []float64{1, 2, 4, 8, 16, 32, 64}
+			traffics := make([]busnet.Traffic, 0, len(ratios))
+			for _, r := range ratios {
+				traffics = append(traffics, meanMMPP2(burstyMeanRate, r, burstyDwell))
+			}
+			return sweep.Grid{Base: burstyBase(p), Traffics: traffics}
+		},
+	}
+	curveOnOffDuty = Curve{
+		Name:   "onoff-duty",
+		Figure: "wait and queue length vs burst duty cycle, fixed offered load",
+		Description: "Mean-preserving ON/OFF at N=16, ρ=0.6: duty cycle swept 0.8…0.05 " +
+			"(burst rate λ̄/duty, cycle 2×100 service times); shrinking duty concentrates " +
+			"the same load into sharper bursts",
+		grid: func(p Params) sweep.Grid {
+			duties := []float64{0.8, 0.6, 0.4, 0.2, 0.1, 0.05}
+			traffics := make([]busnet.Traffic, 0, len(duties))
+			for _, d := range duties {
+				traffics = append(traffics, meanOnOff(burstyMeanRate, d, 2*burstyDwell))
+			}
+			return sweep.Grid{Base: burstyBase(p), Traffics: traffics}
+		},
+	}
+	curveTrafficShapes = Curve{
+		Name:   "traffic-shapes",
+		Figure: "the four source shapes side by side at equal offered load",
+		Description: "Deterministic, Poisson, MMPP2 (ratio 16), and ON/OFF (duty 0.2) at " +
+			"N=16, ρ=0.6: wait ordering deterministic < Poisson < bursty shows buffering " +
+			"cost is driven by traffic shape, not just load",
+		grid: func(p Params) sweep.Grid {
+			return sweep.Grid{
+				Base: burstyBase(p),
+				Traffics: []busnet.Traffic{
+					busnet.DeterministicTraffic(),
+					busnet.PoissonTraffic(),
+					meanMMPP2(burstyMeanRate, 16, burstyDwell),
+					meanOnOff(burstyMeanRate, 0.2, 2*burstyDwell),
+				},
+			}
+		},
+	}
+)
+
 // single wraps one curve as its own scenario, keeping the registry key,
 // scenario name, and curve name in lockstep.
 func single(c Curve) Scenario {
@@ -155,6 +262,37 @@ var registry = map[string]Scenario{
 				Base:       base,
 				Processors: []int{4, 8, 16},
 				Modes:      []string{busnet.ModeUnbuffered, busnet.ModeBuffered},
+			}
+		},
+	}),
+	"bursty-curves": {
+		Name: "bursty-curves",
+		Description: "Traffic-shape sensitivity at fixed offered load (ρ=0.6, N=16): " +
+			"MMPP2 burstiness sweep, ON/OFF duty-cycle sweep, and the four shapes side by side",
+		Curves: []Curve{curveMMPP2Burstiness, curveOnOffDuty, curveTrafficShapes},
+	},
+	"mmpp2-burstiness": single(curveMMPP2Burstiness),
+	"onoff-duty":       single(curveOnOffDuty),
+	"traffic-shapes":   single(curveTrafficShapes),
+	"weighted-arbiter": single(Curve{
+		Name:   "weighted-arbiter",
+		Figure: "weighted round-robin grant shares under saturation",
+		Description: "Round-robin vs weighted round-robin (weights 8,4,2,1,1,1,1,1) at " +
+			"saturation (N=8, λ=0.5, μ=1, buffer 4): grant shares follow the weight ratios " +
+			"while plain round-robin stays uniform",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Processors = 8
+			base.Mode = busnet.ModeBuffered
+			base.BufferCap = 4
+			base.ThinkRate = 0.5
+			base.Weights = "8,4,2,1,1,1,1,1"
+			return sweep.Grid{
+				Base: base,
+				Arbiters: []string{
+					busnet.RoundRobin.String(),
+					busnet.WeightedRoundRobin.String(),
+				},
 			}
 		},
 	}),

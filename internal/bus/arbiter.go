@@ -1,5 +1,7 @@
 package bus
 
+import "fmt"
+
 // Arbiter decides which processor is granted the bus next. Select is
 // called only when at least one processor has a pending request; pending
 // is indexed by processor and true where a request waits. Implementations
@@ -39,6 +41,65 @@ func (a *RoundRobinArbiter) Select(pending []bool) int {
 
 // Name implements Arbiter.
 func (a *RoundRobinArbiter) Name() string { return "round-robin" }
+
+// WeightedRoundRobinArbiter generalizes round-robin with per-processor
+// integer weights: cycling through the processors in round-robin order,
+// it grants processor i up to weights[i] consecutive transactions before
+// advancing. Over any saturated interval the grant shares converge to
+// the weight ratios, and with all weights 1 the arbiter is
+// grant-for-grant identical to RoundRobinArbiter. It is work-conserving:
+// an unfinished grant window is forfeited the moment its owner has
+// nothing pending, so the bus never idles while any processor waits.
+type WeightedRoundRobinArbiter struct {
+	weights []int
+	current int // processor holding the grant window; -1 before the first grant
+	left    int // grants remaining in current's window
+}
+
+// NewWeightedRoundRobin returns a weighted round-robin arbiter. It
+// requires one weight ≥ 1 per processor; the weight slice is copied in.
+func NewWeightedRoundRobin(weights []int) (*WeightedRoundRobinArbiter, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("bus: weighted round-robin needs at least one weight")
+	}
+	for i, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("bus: weight[%d] = %d, need ≥ 1", i, w)
+		}
+	}
+	return &WeightedRoundRobinArbiter{
+		weights: append([]int(nil), weights...),
+		current: -1,
+	}, nil
+}
+
+// Select continues the current processor's window while it has credit
+// and a pending request, and otherwise scans cyclically — exactly like
+// round-robin — for the next pending processor, opening a fresh window
+// of its weight.
+func (a *WeightedRoundRobinArbiter) Select(pending []bool) int {
+	if a.current >= 0 && a.left > 0 && pending[a.current] {
+		a.left--
+		return a.current
+	}
+	n := len(pending)
+	for off := 1; off <= n; off++ {
+		i := (a.current + off + n) % n
+		if pending[i] {
+			a.current = i
+			a.left = a.weights[i] - 1
+			return i
+		}
+	}
+	panic("bus: Select called with no pending request")
+}
+
+// Name implements Arbiter.
+func (a *WeightedRoundRobinArbiter) Name() string { return "weighted-round-robin" }
+
+// Stations returns the number of processors the weight vector covers;
+// Config.Validate checks it against the processor count.
+func (a *WeightedRoundRobinArbiter) Stations() int { return len(a.weights) }
 
 // FixedPriorityArbiter always grants the lowest-index pending processor,
 // modeling a daisy-chained priority line: processor 0 can starve the rest

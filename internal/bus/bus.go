@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"github.com/busnet/busnet/internal/sim"
+	"github.com/busnet/busnet/internal/workload"
 )
 
 // Mode selects the paper's two regimes.
@@ -52,6 +53,13 @@ type Config struct {
 	Mode        Mode
 	BufferCap   int // per-processor queue capacity in Buffered mode; Infinite for unbounded
 	Arbiter     Arbiter
+	// Sources optionally shapes each processor's request generation: one
+	// workload.Source per processor, consulted every time the processor
+	// re-enters the thinking state. Nil keeps the paper's model — Poisson
+	// think times at ThinkRate for every processor — with the exact same
+	// draw sequence as before the subsystem existed. When set, ThinkRate
+	// is not consulted (the sources own their rates).
+	Sources []workload.Source
 }
 
 // Validate reports the first configuration error, or nil.
@@ -59,9 +67,11 @@ func (c Config) Validate() error {
 	switch {
 	case c.Processors < 1:
 		return fmt.Errorf("bus: Processors = %d, need ≥ 1", c.Processors)
-	case !(c.ThinkRate > 0) || math.IsInf(c.ThinkRate, 1):
+	case c.Sources == nil && (!(c.ThinkRate > 0) || math.IsInf(c.ThinkRate, 1)):
 		// An infinite rate makes Exp draw 0 forever, freezing the clock.
 		return fmt.Errorf("bus: ThinkRate = %v, need finite and > 0", c.ThinkRate)
+	case c.Sources != nil && len(c.Sources) != c.Processors:
+		return fmt.Errorf("bus: %d sources for %d processors", len(c.Sources), c.Processors)
 	case !(c.ServiceRate > 0) || math.IsInf(c.ServiceRate, 1):
 		return fmt.Errorf("bus: ServiceRate = %v, need finite and > 0", c.ServiceRate)
 	case c.Mode != Unbuffered && c.Mode != Buffered:
@@ -71,15 +81,27 @@ func (c Config) Validate() error {
 	case c.Arbiter == nil:
 		return fmt.Errorf("bus: Arbiter is nil")
 	}
+	for i, s := range c.Sources {
+		if s == nil {
+			return fmt.Errorf("bus: Sources[%d] is nil", i)
+		}
+	}
+	// Arbiters carrying per-processor state (e.g. weighted round-robin)
+	// expose their size; a mismatch would index out of bounds mid-run.
+	if sized, ok := c.Arbiter.(interface{ Stations() int }); ok && sized.Stations() != c.Processors {
+		return fmt.Errorf("bus: arbiter %q sized for %d stations, config has %d processors",
+			c.Arbiter.Name(), sized.Stations(), c.Processors)
+	}
 	return nil
 }
 
 // Network is the simulated single-bus system. It is not safe for
 // concurrent use; all mutation happens inside engine callbacks.
 type Network struct {
-	cfg Config
-	eng *sim.Engine
-	rng *sim.RNG
+	cfg     Config
+	eng     *sim.Engine
+	rng     *sim.RNG
+	sources []workload.Source // per-processor think-time generators
 
 	queues  [][]float64 // per-processor FIFO of issue times awaiting the bus
 	pending []bool      // queues[i] is nonempty
@@ -110,10 +132,23 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 		cfg:     cfg,
 		eng:     eng,
 		rng:     rng,
+		sources: cfg.Sources,
 		queues:  make([][]float64, cfg.Processors),
 		pending: make([]bool, cfg.Processors),
 		stalled: make([]float64, cfg.Processors),
 		grants:  make([]uint64, cfg.Processors),
+	}
+	if n.sources == nil {
+		// The paper's default: Poisson think times at ThinkRate. Validate
+		// guaranteed the rate, so source construction cannot fail.
+		n.sources = make([]workload.Source, cfg.Processors)
+		for i := range n.sources {
+			src, err := workload.Spec{}.NewSource(cfg.ThinkRate)
+			if err != nil {
+				return nil, err
+			}
+			n.sources[i] = src
+		}
 	}
 	for i := range n.stalled {
 		n.stalled[i] = math.NaN()
@@ -133,7 +168,7 @@ func (n *Network) Start() {
 }
 
 func (n *Network) scheduleThink(i int) {
-	n.eng.Schedule(n.rng.Exp(n.cfg.ThinkRate), func() { n.issue(i) })
+	n.eng.Schedule(n.sources[i].Next(n.rng), func() { n.issue(i) })
 }
 
 // issue fires when processor i finishes thinking and presents a request

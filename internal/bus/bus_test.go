@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/busnet/busnet/internal/sim"
+	"github.com/busnet/busnet/internal/workload"
 )
 
 func newTestNetwork(t *testing.T, cfg Config, seed int64) (*Network, *sim.Engine) {
@@ -36,6 +37,12 @@ func TestConfigValidate(t *testing.T) {
 		{"bad mode", func(c *Config) { c.Mode = Mode(9) }},
 		{"zero buffer cap", func(c *Config) { c.BufferCap = 0 }},
 		{"nil arbiter", func(c *Config) { c.Arbiter = nil }},
+		{"source count mismatch", func(c *Config) {
+			c.Sources = make([]workload.Source, c.Processors-1)
+		}},
+		{"nil source entry", func(c *Config) {
+			c.Sources = make([]workload.Source, c.Processors)
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -159,6 +166,44 @@ func TestStalledRequestKeepsIssueTime(t *testing.T) {
 	// proves stall time is being counted.
 	if m.MeanWait < 1 {
 		t.Fatalf("mean wait %v under saturation with cap 1; stall time appears dropped", m.MeanWait)
+	}
+}
+
+// Per-station sources are genuinely per-station: a fast deterministic
+// station next to slow Poisson stations must dominate issued requests,
+// and the config must accept heterogeneous shapes in one network.
+func TestPerStationSourcesShapeTraffic(t *testing.T) {
+	mustSrc := func(spec workload.Spec, base float64) workload.Source {
+		src, err := spec.NewSource(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	cfg := Config{
+		Processors: 3, ServiceRate: 1,
+		Mode: Buffered, BufferCap: Infinite, Arbiter: NewRoundRobin(),
+		Sources: []workload.Source{
+			mustSrc(workload.Spec{Kind: workload.KindDeterministic}, 0.5),
+			mustSrc(workload.Spec{}, 0.01),
+			mustSrc(workload.Spec{}, 0.01),
+		},
+	}
+	n, eng := newTestNetwork(t, cfg, 13)
+	n.Start()
+	if err := eng.RunUntil(5000); err != nil {
+		t.Fatal(err)
+	}
+	m := n.Snapshot()
+	// Station 0 issues at 0.5/s against 0.01/s Poisson stations: it must
+	// hold the overwhelming majority of grants.
+	if m.Grants[0] < 10*(m.Grants[1]+m.Grants[2]+1) {
+		t.Fatalf("deterministic fast station not dominating: grants %v", m.Grants)
+	}
+	// ThinkRate is not consulted when sources are provided — the zero
+	// value above must not have frozen or crashed the run.
+	if m.Completions == 0 {
+		t.Fatal("no completions with per-station sources")
 	}
 }
 

@@ -28,6 +28,8 @@
 package busnet
 
 import (
+	"fmt"
+
 	"github.com/busnet/busnet/internal/analytic"
 	"github.com/busnet/busnet/internal/bus"
 	"github.com/busnet/busnet/internal/sim"
@@ -146,12 +148,19 @@ func (n *Network) Run() (Results, error) {
 // Predict returns the closed-form steady-state prediction for cfg: the
 // exact machine-repairman model in unbuffered mode, M/M/1 for infinite
 // buffers, and the M/M/1/K approximation for finite buffers. It errors
-// when the config is invalid or no steady state exists (infinite buffers
-// with offered load ≥ 1).
+// when the config is invalid, when no steady state exists (infinite
+// buffers with offered load ≥ 1), or when the traffic shape is not
+// Poisson — the closed forms assume exponential think times, and
+// attaching them to bursty or deterministic runs would be a silently
+// wrong overlay. (Cross-checks for the other shapes are limiting cases:
+// MMPP2 with equal state rates is Poisson; see docs/traffic.md.)
 func Predict(cfg Config) (Prediction, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return Prediction{}, err
+	}
+	if kind := cfg.Traffic.Kind; kind != TrafficPoisson {
+		return Prediction{}, fmt.Errorf("busnet: no closed-form model for %s traffic", kind)
 	}
 	mode, _ := parseMode(cfg.Mode)
 	if mode == bus.Unbuffered {

@@ -1,6 +1,7 @@
 package busnet
 
 import (
+	"encoding/json"
 	"math"
 	"reflect"
 	"testing"
@@ -193,6 +194,13 @@ func TestNewRejectsInvalidOptions(t *testing.T) {
 		{"warmup past horizon", []Option{WithHorizon(100), WithWarmup(100)}},
 		{"negative warmup", []Option{WithWarmup(-1)}},
 		{"unknown arbiter", []Option{WithArbiter(ArbiterKind(99))}},
+		{"unknown traffic kind", []Option{WithTraffic(Traffic{Kind: "pareto"})}},
+		{"mmpp2 missing switches", []Option{WithTraffic(Traffic{Kind: TrafficMMPP2, Rate0: 1, Rate1: 2})}},
+		{"onoff duty out of range", []Option{WithTraffic(OnOffTraffic(1, 1.5, 10))}},
+		{"poisson with stray traffic params", []Option{WithTraffic(Traffic{Kind: TrafficPoisson, BurstRate: 2})}},
+		{"deterministic zero think rate", []Option{WithThinkRate(0), WithTraffic(DeterministicTraffic())}},
+		{"weight count mismatch", []Option{WithProcessors(4), WithWeights(1, 2)}},
+		{"zero weight", []Option{WithProcessors(2), WithWeights(1, 0)}},
 		{"warmup fraction ≥ 1", []Option{WithWarmupFraction(1)}},
 		{"negative warmup fraction", []Option{WithWarmupFraction(-0.5)}},
 		{"NaN warmup fraction", []Option{WithWarmupFraction(math.NaN())}},
@@ -279,9 +287,156 @@ func TestFixedPriorityStarvesUnderSaturation(t *testing.T) {
 	}
 }
 
+// Configs with traffic shapes and weights must survive a JSON round
+// trip unchanged — the sweep engine and CLI serialize them into every
+// report — and the deserialized config must run bit-identically.
+func TestTrafficAndWeightsJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig().AtHorizon(4000)
+	cfg.Processors = 4
+	cfg.Traffic = MMPP2Traffic(0.05, 0.8, 0.01, 0.09)
+	cfg.Arbiter = WeightedRoundRobin.String()
+	cfg.Weights = "4,2,1,1"
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg { // Config is comparable — shapes and weights included
+		t.Fatalf("round trip changed the config:\n%+v\nvs\n%+v", back, cfg)
+	}
+	a, err := runCfg(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCfg(t, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("deserialized config ran a different trajectory")
+	}
+	// Old configs without the new fields keep working: the zero traffic
+	// value normalizes to poisson.
+	var legacy Config
+	if err := json.Unmarshal([]byte(`{"processors":2,"think_rate":0.1,"service_rate":1,"horizon":1000}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	net, err := FromConfig(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Config().Traffic.Kind; got != TrafficPoisson {
+		t.Fatalf("legacy config traffic normalized to %q, want %q", got, TrafficPoisson)
+	}
+}
+
+// Weights on a non-weighted arbiter are documented as inert: the run
+// must be bit-identical to the same config without them, so grids can
+// hold a weight vector fixed while sweeping arbiters.
+func TestWeightsInertForOtherArbiters(t *testing.T) {
+	cfg := DefaultConfig().AtHorizon(4000)
+	cfg.Seed = 42
+	with := cfg
+	with.Weights = "5,1,1,1,1,1,1,1"
+	a, err := runCfg(t, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCfg(t, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Config, b.Config = Config{}, Config{}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("weights changed a round-robin run; they must be inert off the weighted arbiter")
+	}
+	// But malformed weights are rejected even when inert.
+	bad := cfg
+	bad.Weights = "1,x,3"
+	if _, err := FromConfig(bad); err == nil {
+		t.Fatal("malformed weights accepted on a round-robin config")
+	}
+}
+
+// Weighted round-robin through the public API: saturated grant shares
+// track the weights, and the default (empty) weight vector is exactly
+// round-robin.
+func TestWeightedRoundRobinFacade(t *testing.T) {
+	// Buffers deeper than the largest weight keep every interface
+	// supplied through its whole grant window; a shallower buffer would
+	// starve the heavy station mid-window and flatten the shares.
+	res, err := mustRun(t,
+		WithProcessors(4),
+		WithThinkRate(2), // saturating
+		WithServiceRate(1),
+		WithBuffer(8),
+		WithWeights(6, 2, 1, 1),
+		WithSeed(9),
+		WithHorizon(20_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, g := range res.Grants {
+		total += g
+	}
+	for i, w := range []float64{6, 2, 1, 1} {
+		share := float64(res.Grants[i]) / float64(total)
+		want := w / 10
+		if math.Abs(share-want) > 0.02 {
+			t.Errorf("processor %d share %.3f, want %.3f ± 0.02 (grants %v)", i, share, want, res.Grants)
+		}
+	}
+
+	// Empty weights on the weighted arbiter ≡ plain round-robin, grant
+	// for grant: identical Results except the echoed config.
+	base := DefaultConfig().AtHorizon(5000)
+	base.Seed = 42
+	weighted := base
+	weighted.Arbiter = WeightedRoundRobin.String()
+	a, err := runCfg(t, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCfg(t, weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Config, b.Config = Config{}, Config{}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("weighted round-robin with default weights diverged from round-robin")
+	}
+}
+
+func TestPredictRejectsNonPoissonTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Traffic = MMPP2Traffic(0.1, 0.1, 0.01, 0.01)
+	if _, err := Predict(cfg); err == nil {
+		t.Fatal("Predict attached a Poisson closed form to MMPP2 traffic")
+	}
+	cfg.Traffic = DeterministicTraffic()
+	if _, err := Predict(cfg); err == nil {
+		t.Fatal("Predict attached a Poisson closed form to deterministic traffic")
+	}
+}
+
 func mustRun(t *testing.T, opts ...Option) (Results, error) {
 	t.Helper()
 	net, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Run()
+}
+
+// runCfg runs a literal Config through FromConfig, fatally on error.
+func runCfg(t *testing.T, cfg Config) (Results, error) {
+	t.Helper()
+	net, err := FromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,8 +3,11 @@ package busnet
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/workload"
 )
 
 // Mode strings accepted by Config.Mode. The empty string normalizes to
@@ -30,6 +33,14 @@ const (
 // replication substream within it — runs with equal (Seed, Stream) and
 // equal parameters are bit-identical, while different Streams of one Seed
 // are statistically independent.
+//
+// Traffic shapes every processor's request-generation process (Poisson
+// by default — the paper's model; see the Traffic type for the bursty
+// and deterministic alternatives). Weights is the comma-separated
+// per-processor weight vector for the weighted-round-robin arbiter,
+// e.g. "4,2,1,1"; it stays a string so the Config remains a comparable
+// value and round-trips through JSON and CLI flags unchanged. Empty
+// weights mean all ones; other arbiters ignore the field.
 type Config struct {
 	Processors  int     `json:"processors"`
 	ThinkRate   float64 `json:"think_rate"`
@@ -37,17 +48,81 @@ type Config struct {
 	Mode        string  `json:"mode"`
 	BufferCap   int     `json:"buffer_cap"` // -1 = infinite; meaningful only in buffered mode
 	Arbiter     string  `json:"arbiter"`
+	Weights     string  `json:"weights,omitempty"`
+	Traffic     Traffic `json:"traffic,omitzero"`
 	Seed        int64   `json:"seed"`
 	Stream      uint64  `json:"stream"`
 	Horizon     float64 `json:"horizon"`
 	Warmup      float64 `json:"warmup"`
 }
 
+// Traffic describes the shape of every processor's request-generation
+// process: Poisson (the paper's model and the default), MMPP2 (2-state
+// Markov-modulated Poisson, bursty), OnOff (burst/idle with a duty
+// cycle), or Deterministic (the synchronous limit). It is a comparable
+// value type that round-trips through JSON; see the constructor helpers
+// PoissonTraffic, MMPP2Traffic, OnOffTraffic, and DeterministicTraffic,
+// and docs/traffic.md for each shape's parameterization. Poisson and
+// deterministic traffic draw their rate from Config.ThinkRate; MMPP2 and
+// OnOff carry their own rates and ignore it.
+type Traffic = workload.Spec
+
+// Traffic kind strings accepted by Traffic.Kind. The empty string
+// normalizes to TrafficPoisson.
+const (
+	TrafficPoisson       = workload.KindPoisson
+	TrafficMMPP2         = workload.KindMMPP2
+	TrafficOnOff         = workload.KindOnOff
+	TrafficDeterministic = workload.KindDeterministic
+)
+
+// PoissonTraffic returns the default traffic shape: exponential think
+// times at Config.ThinkRate, the source paper's model.
+func PoissonTraffic() Traffic { return Traffic{Kind: TrafficPoisson} }
+
+// DeterministicTraffic returns fixed think times 1/Config.ThinkRate —
+// the paper's synchronous limit.
+func DeterministicTraffic() Traffic { return Traffic{Kind: TrafficDeterministic} }
+
+// MMPP2Traffic returns a 2-state Markov-modulated Poisson shape:
+// arrivals at rate0 or rate1 depending on a hidden state that flips
+// 0→1 at rate switch01 and 1→0 at rate switch10. With rate0 == rate1 it
+// is statistically Poisson at that rate; its long-run mean rate is
+// (switch10·rate0 + switch01·rate1)/(switch01 + switch10).
+func MMPP2Traffic(rate0, rate1, switch01, switch10 float64) Traffic {
+	return Traffic{Kind: TrafficMMPP2, Rate0: rate0, Rate1: rate1,
+		Switch01: switch01, Switch10: switch10}
+}
+
+// OnOffTraffic returns burst/idle traffic: Poisson arrivals at
+// burstRate during exponentially distributed ON periods and silence in
+// between. dutyCycle ∈ (0, 1) is the ON fraction and cycleTime the mean
+// ON+OFF cycle length; the long-run mean rate is burstRate·dutyCycle.
+func OnOffTraffic(burstRate, dutyCycle, cycleTime float64) Traffic {
+	return Traffic{Kind: TrafficOnOff, BurstRate: burstRate,
+		DutyCycle: dutyCycle, CycleTime: cycleTime}
+}
+
+// RareBurstMMPP2 returns the mean-preserving rare-burst MMPP2 shape the
+// bursty curves sweep: a burst state occupied burstFrac of the time
+// (mean dwell `dwell` per visit) arriving at ratio× the calm state's
+// rate, both scaled so the stationary rate is exactly mean. ratio 1
+// makes the two states identical — exactly Poisson at mean. Keeping
+// burstFrac well below ½ is what makes burstiness bite: the same mean
+// load concentrates into rare episodes intense enough that a few
+// simultaneously bursting stations overload the bus, instead of
+// averaging out across N independent sources.
+func RareBurstMMPP2(mean, ratio, dwell, burstFrac float64) Traffic {
+	rate0 := mean / (1 - burstFrac + burstFrac*ratio)
+	switch01 := burstFrac / ((1 - burstFrac) * dwell) // calm→burst: calm dwell is dwell·(1−f)/f
+	return MMPP2Traffic(rate0, ratio*rate0, switch01, 1/dwell)
+}
+
 // DefaultConfig returns the same baseline the functional options start
-// from: 8 processors, λ=0.1, μ=1, unbuffered, round-robin, seed 1,
-// horizon 100000 with a 10% warmup. Warmup is an absolute time, not a
-// fraction — when deriving configs with a different horizon, use
-// AtHorizon so the warmup rescales with it.
+// from: 8 processors, λ=0.1, μ=1, unbuffered, Poisson traffic,
+// round-robin, seed 1, horizon 100000 with a 10% warmup. Warmup is an
+// absolute time, not a fraction — when deriving configs with a different
+// horizon, use AtHorizon so the warmup rescales with it.
 func DefaultConfig() Config {
 	return Config{
 		Processors:  8,
@@ -56,6 +131,7 @@ func DefaultConfig() Config {
 		Mode:        ModeUnbuffered,
 		BufferCap:   Infinite,
 		Arbiter:     RoundRobin.String(),
+		Traffic:     PoissonTraffic(),
 		Seed:        1,
 		Horizon:     100_000,
 		Warmup:      10_000,
@@ -83,9 +159,42 @@ func ParseArbiter(s string) (ArbiterKind, error) {
 		return RoundRobin, nil
 	case "fixed-priority":
 		return FixedPriority, nil
+	case "weighted-round-robin":
+		return WeightedRoundRobin, nil
 	default:
 		return 0, fmt.Errorf("busnet: unknown arbiter %q", s)
 	}
+}
+
+// ParseWeights parses a Config.Weights string — comma-separated integer
+// weights ≥ 1, e.g. "4,2,1,1" — into the weight vector. The empty
+// string parses as (nil, nil): use all-ones weights.
+func ParseWeights(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ws := make([]int, len(parts))
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("busnet: weights[%d] = %q, need an integer", i, p)
+		}
+		if w < 1 {
+			return nil, fmt.Errorf("busnet: weights[%d] = %d, need ≥ 1", i, w)
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// FormatWeights renders a weight vector as a Config.Weights string.
+func FormatWeights(ws []int) string {
+	parts := make([]string, len(ws))
+	for i, w := range ws {
+		parts[i] = strconv.Itoa(w)
+	}
+	return strings.Join(parts, ",")
 }
 
 // parseMode maps a Mode string to the domain type; "" is unbuffered.
@@ -100,8 +209,8 @@ func parseMode(s string) (bus.Mode, error) {
 	}
 }
 
-// normalized fills the empty-string Mode/Arbiter defaults so every
-// Network echoes canonical names.
+// normalized fills the empty-string Mode/Arbiter/Traffic.Kind defaults
+// so every Network echoes canonical names.
 func (c Config) normalized() Config {
 	if c.Mode == "" {
 		c.Mode = ModeUnbuffered
@@ -109,7 +218,17 @@ func (c Config) normalized() Config {
 	if c.Arbiter == "" {
 		c.Arbiter = RoundRobin.String()
 	}
+	c.Traffic = c.Traffic.Normalized()
 	return c
+}
+
+// MeanThinkRate returns the long-run per-processor request rate the
+// configured traffic generates — ThinkRate for poisson and
+// deterministic shapes, the stationary modulated rate for MMPP2 and
+// OnOff. N·MeanThinkRate/ServiceRate is the offered load to hold fixed
+// when sweeping burstiness.
+func (c Config) MeanThinkRate() float64 {
+	return c.Traffic.MeanRate(c.ThinkRate)
 }
 
 // Validate reports the first configuration error, or nil.
@@ -117,10 +236,23 @@ func (c Config) Validate() error {
 	if _, err := parseMode(c.Mode); err != nil {
 		return err
 	}
-	if _, err := ParseArbiter(c.Arbiter); err != nil {
+	kind, err := ParseArbiter(c.Arbiter)
+	if err != nil {
 		return err
 	}
+	ws, err := ParseWeights(c.Weights)
+	if err != nil {
+		return err
+	}
+	if kind == WeightedRoundRobin && ws != nil && len(ws) != c.Processors {
+		return fmt.Errorf("busnet: %d weights for %d processors", len(ws), c.Processors)
+	}
 	switch {
+	case math.IsNaN(c.ThinkRate) || c.ThinkRate < 0 || math.IsInf(c.ThinkRate, 1):
+		// Traffic kinds that ignore ThinkRate still echo it as provenance,
+		// so it must at least be a finite nonnegative number; kinds that
+		// consume it additionally require > 0 (checked by Traffic.Validate).
+		return fmt.Errorf("busnet: think rate = %v, need finite and ≥ 0", c.ThinkRate)
 	case !(c.Horizon > 0) || math.IsInf(c.Horizon, 1):
 		// +Inf would make RunUntil spin forever; NaN fails the > 0 test.
 		return fmt.Errorf("busnet: horizon = %v, need finite and > 0", c.Horizon)
@@ -129,14 +261,19 @@ func (c Config) Validate() error {
 		// and would otherwise reach JSON encoding, which rejects it.
 		return fmt.Errorf("busnet: warmup = %v, need in [0, horizon)", c.Warmup)
 	}
+	if err := c.Traffic.Validate(c.ThinkRate); err != nil {
+		return err
+	}
 	// Domain-level constraints (processor count, rates, buffer capacity)
 	// are validated by bus.Config so the two layers cannot drift apart.
 	return c.busConfig().Validate()
 }
 
-// busConfig lowers the public value type to the domain model's config.
-// Unknown mode/arbiter strings lower to the defaults; Validate rejects
-// them first on every construction path.
+// busConfig lowers the public value type to the domain model's config,
+// building fresh per-processor sources and a fresh arbiter — both carry
+// run state, so every Run gets its own. Unknown mode/arbiter/traffic
+// strings lower to the defaults; Validate rejects them first on every
+// construction path.
 func (c Config) busConfig() bus.Config {
 	mode, _ := parseMode(c.Mode)
 	kind, _ := ParseArbiter(c.Arbiter)
@@ -146,12 +283,47 @@ func (c Config) busConfig() bus.Config {
 		ServiceRate: c.ServiceRate,
 		Mode:        mode,
 		BufferCap:   c.BufferCap,
+		Sources:     c.sources(),
 	}
 	switch kind {
 	case FixedPriority:
 		bc.Arbiter = bus.NewFixedPriority()
+	case WeightedRoundRobin:
+		ws, _ := ParseWeights(c.Weights)
+		if ws == nil {
+			ws = make([]int, max(c.Processors, 0))
+			for i := range ws {
+				ws[i] = 1
+			}
+		}
+		if wrr, err := bus.NewWeightedRoundRobin(ws); err == nil {
+			bc.Arbiter = wrr
+		} else {
+			bc.Arbiter = bus.NewRoundRobin()
+		}
 	default:
 		bc.Arbiter = bus.NewRoundRobin()
 	}
 	return bc
+}
+
+// sources builds one fresh traffic source per processor from the
+// Traffic spec, or nil — bus's built-in Poisson default with the
+// pre-subsystem draw sequence — when the spec is (or normalizes to)
+// plain Poisson. Invalid specs also lower to nil; Validate rejects them
+// first on every construction path.
+func (c Config) sources() []workload.Source {
+	spec := c.Traffic.Normalized()
+	if spec == PoissonTraffic() || c.Processors < 1 {
+		return nil
+	}
+	srcs := make([]workload.Source, c.Processors)
+	for i := range srcs {
+		src, err := spec.NewSource(c.ThinkRate)
+		if err != nil {
+			return nil
+		}
+		srcs[i] = src
+	}
+	return srcs
 }

@@ -89,6 +89,158 @@ func TestSimulationMatchesAnalytic(t *testing.T) {
 	}
 }
 
+// Acceptance criterion for the workload subsystem: MMPP2 with equal
+// rates in both states is statistically Poisson, so its simulation must
+// match the Poisson closed forms within the cross-check tolerances used
+// above — even though the modulating chain keeps switching (and drawing)
+// underneath.
+func TestMMPP2EqualRatesMatchesPoissonAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon cross-validation")
+	}
+	tests := []struct {
+		name    string
+		opts    []Option
+		rate    float64
+		utilTol float64
+		waitTol float64
+	}{
+		{"unbuffered/n8", []Option{
+			WithProcessors(8), WithUnbuffered()}, 0.1, 0.02, 0.05},
+		{"buffered/n16/rho0.8", []Option{
+			WithProcessors(16), WithBuffer(Infinite)}, 0.05, 0.02, 0.10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			opts := append([]Option{
+				WithServiceRate(1),
+				WithSeed(42),
+				WithHorizon(400_000),
+				WithWarmupFraction(0.1),
+				// ThinkRate is ignored by MMPP2 but echoed as provenance;
+				// setting it to the true rate keeps the echo honest.
+				WithThinkRate(tt.rate),
+				WithTraffic(MMPP2Traffic(tt.rate, tt.rate, 0.01, 0.01)),
+			}, tt.opts...)
+			net, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The closed form comes from the Poisson-equivalent config:
+			// same operating point, plain Poisson shape.
+			poisson := net.Config()
+			poisson.Traffic = PoissonTraffic()
+			pred, err := Predict(poisson)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(res.Utilization, pred.Utilization); e > tt.utilTol {
+				t.Errorf("utilization: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.Utilization, pred.Utilization, e, tt.utilTol)
+			}
+			if e := relErr(res.Throughput, pred.Throughput); e > tt.utilTol {
+				t.Errorf("throughput: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.Throughput, pred.Throughput, e, tt.utilTol)
+			}
+			if e := relErr(res.MeanWait, pred.MeanWait); e > tt.waitTol {
+				t.Errorf("mean wait: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.MeanWait, pred.MeanWait, e, tt.waitTol)
+			}
+		})
+	}
+}
+
+// rareBurstMMPP2 pins the CLI curves' burst fraction and dwell into the
+// shared RareBurstMMPP2 parameterization, so these cross-checks exercise
+// the exact shape the bursty-curves scenario runs.
+func rareBurstMMPP2(mean, ratio float64) Traffic {
+	return RareBurstMMPP2(mean, ratio, 100, 0.1)
+}
+
+// Mean-rate preservation end to end: in a stable buffered system every
+// request is eventually served, so measured throughput must equal
+// N·MeanThinkRate for the bursty shapes too — the invariant that lets
+// the bursty curves claim "same offered load, different shape".
+func TestBurstyThroughputMatchesMeanRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon cross-validation")
+	}
+	const n, mean = 16, 0.0375 // ρ = 0.6
+	shapes := []struct {
+		name    string
+		traffic Traffic
+	}{
+		{"mmpp2", rareBurstMMPP2(mean, 16)},
+		{"onoff", OnOffTraffic(mean/0.2, 0.2, 200)},
+		{"poisson-control", PoissonTraffic()},
+	}
+	for _, tt := range shapes {
+		t.Run(tt.name, func(t *testing.T) {
+			net, err := New(
+				WithProcessors(n),
+				WithThinkRate(mean),
+				WithServiceRate(1),
+				WithBuffer(Infinite),
+				WithTraffic(tt.traffic),
+				WithSeed(42),
+				WithHorizon(400_000),
+				WithWarmupFraction(0.1),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(n) * net.Config().MeanThinkRate()
+			if e := relErr(res.Throughput, want); e > 0.05 {
+				t.Errorf("throughput %.4f vs N·mean rate %.4f (rel err %.3f > 0.05)",
+					res.Throughput, want, e)
+			}
+		})
+	}
+}
+
+// Wait ordering across shapes at equal mean load. Burstiness must cost:
+// the rare-burst MMPP2 waits well above Poisson at the same N and load.
+// The deterministic limit is compared at N=1 — D/M/1 vs M/M/1, where
+// removing arrival variability provably cuts the wait — because with
+// many buffered stations the deterministic comparison is a property of
+// the drawn phase offsets (fixed forever in buffered mode), not of the
+// shape itself.
+func TestWaitOrderingAcrossShapes(t *testing.T) {
+	run := func(n int, rate float64, traffic Traffic) Results {
+		res, err := mustRun(t,
+			WithProcessors(n),
+			WithThinkRate(rate),
+			WithServiceRate(1),
+			WithBuffer(Infinite),
+			WithTraffic(traffic),
+			WithSeed(42),
+			WithHorizon(200_000),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	poi := run(16, 0.0375, PoissonTraffic())
+	bursty := run(16, 0.0375, rareBurstMMPP2(0.0375, 16))
+	if !(bursty.MeanWait > 2*poi.MeanWait) {
+		t.Errorf("bursty MMPP2 wait %.4f not ≫ Poisson %.4f at equal load", bursty.MeanWait, poi.MeanWait)
+	}
+	detSolo := run(1, 0.6, DeterministicTraffic())
+	poiSolo := run(1, 0.6, PoissonTraffic())
+	if !(detSolo.MeanWait < poiSolo.MeanWait) {
+		t.Errorf("D/M/1 wait %.4f not below M/M/1 %.4f at ρ=0.6", detSolo.MeanWait, poiSolo.MeanWait)
+	}
+}
+
 // The paper's qualitative headline: at equal workload, buffering trades
 // processor blocking for queueing — utilization and throughput rise
 // (processors keep issuing while requests wait), and so does the wait a

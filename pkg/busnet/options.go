@@ -14,6 +14,12 @@ const (
 	RoundRobin ArbiterKind = iota
 	// FixedPriority always grants the lowest-index pending processor.
 	FixedPriority
+	// WeightedRoundRobin cycles like RoundRobin but grants processor i up
+	// to its integer weight (Config.Weights) consecutive transactions per
+	// visit, so saturated grant shares match the weight ratios. With
+	// all-ones weights (the default when Config.Weights is empty) it is
+	// grant-for-grant identical to RoundRobin.
+	WeightedRoundRobin
 )
 
 // String implements fmt.Stringer.
@@ -23,6 +29,8 @@ func (k ArbiterKind) String() string {
 		return "round-robin"
 	case FixedPriority:
 		return "fixed-priority"
+	case WeightedRoundRobin:
+		return "weighted-round-robin"
 	default:
 		return fmt.Sprintf("ArbiterKind(%d)", int(k))
 	}
@@ -85,6 +93,22 @@ func WithBuffer(capacity int) Option {
 
 // WithArbiter selects the arbitration policy.
 func WithArbiter(kind ArbiterKind) Option { return func(b *builder) { b.cfg.Arbiter = kind.String() } }
+
+// WithWeights selects the weighted-round-robin arbiter with the given
+// per-processor weights (one integer ≥ 1 per processor, in index
+// order). It implies WithArbiter(WeightedRoundRobin).
+func WithWeights(weights ...int) Option {
+	return func(b *builder) {
+		b.cfg.Arbiter = WeightedRoundRobin.String()
+		b.cfg.Weights = FormatWeights(weights)
+	}
+}
+
+// WithTraffic selects the traffic shape every processor generates
+// requests with; see PoissonTraffic, MMPP2Traffic, OnOffTraffic, and
+// DeterministicTraffic. The default is Poisson at the think rate, the
+// source paper's model.
+func WithTraffic(t Traffic) Option { return func(b *builder) { b.cfg.Traffic = t } }
 
 // WithSeed sets the RNG seed. Runs with equal configuration and seed
 // produce identical Results.

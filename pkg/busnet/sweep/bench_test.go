@@ -40,3 +40,32 @@ func BenchmarkSweepParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBurstySweep measures the bursty-traffic path end to end: a
+// 6-point mean-preserving MMPP2 burstiness curve at N=16 with 2
+// replications per point. Against BenchmarkSweepParallel this isolates
+// the cost the workload subsystem adds per event (modulated sources
+// draw 2–3 variates per request instead of 1); BENCH_workload.json
+// records the numbers per machine.
+func BenchmarkBurstySweep(b *testing.B) {
+	base := busnet.DefaultConfig().AtHorizon(20_000)
+	base.Seed = 42
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	base.Processors = 16
+	base.ThinkRate = 0.0375
+	traffics := make([]busnet.Traffic, 0, 6)
+	for _, ratio := range []float64{1, 2, 4, 8, 16, 32} {
+		traffics = append(traffics, busnet.RareBurstMMPP2(0.0375, ratio, 100, 0.1))
+	}
+	spec := Spec{
+		Grid:         Grid{Base: base, Traffics: traffics},
+		Replications: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

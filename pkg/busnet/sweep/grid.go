@@ -10,15 +10,21 @@ import (
 // axis per sweepable parameter. Points expands the cartesian product of
 // every non-empty axis, holding the base value for the rest — so a Grid
 // with only Processors set describes a 1-D curve over N, and one with
-// both ThinkRates and BufferCaps set an |λ|×|cap| surface.
+// both ThinkRates and BufferCaps set an |λ|×|cap| surface. The Traffics
+// axis sweeps whole traffic shapes — each entry is a complete
+// busnet.Traffic spec, so a burstiness curve is a list of MMPP2/OnOff
+// specs at increasing burstiness (typically mean-rate matched); Weights
+// sweeps weighted-round-robin weight vectors in Config.Weights form.
 type Grid struct {
-	Base         busnet.Config `json:"base"`
-	Processors   []int         `json:"processors,omitempty"`
-	ThinkRates   []float64     `json:"think_rates,omitempty"`
-	ServiceRates []float64     `json:"service_rates,omitempty"`
-	Modes        []string      `json:"modes,omitempty"`
-	BufferCaps   []int         `json:"buffer_caps,omitempty"`
-	Arbiters     []string      `json:"arbiters,omitempty"`
+	Base         busnet.Config    `json:"base"`
+	Processors   []int            `json:"processors,omitempty"`
+	ThinkRates   []float64        `json:"think_rates,omitempty"`
+	ServiceRates []float64        `json:"service_rates,omitempty"`
+	Modes        []string         `json:"modes,omitempty"`
+	BufferCaps   []int            `json:"buffer_caps,omitempty"`
+	Arbiters     []string         `json:"arbiters,omitempty"`
+	Weights      []string         `json:"weights,omitempty"`
+	Traffics     []busnet.Traffic `json:"traffics,omitempty"`
 }
 
 // axis returns the sweep values for one parameter: the axis itself, or
@@ -32,9 +38,9 @@ func axis[T any](vals []T, base T) []T {
 
 // Points expands the grid into validated configs in a fixed order —
 // processors outermost, then think rate, service rate, mode, buffer
-// capacity, and arbiter innermost — so equal grids always enumerate
-// equal point sequences. Every point inherits the base's Seed, Stream,
-// Horizon, and Warmup.
+// capacity, arbiter, weights, and traffic innermost — so equal grids
+// always enumerate equal point sequences. Every point inherits the
+// base's Seed, Stream, Horizon, and Warmup.
 func (g Grid) Points() ([]busnet.Config, error) {
 	var points []busnet.Config
 	for _, n := range axis(g.Processors, g.Base.Processors) {
@@ -43,17 +49,23 @@ func (g Grid) Points() ([]busnet.Config, error) {
 				for _, mode := range axis(g.Modes, g.Base.Mode) {
 					for _, capacity := range axis(g.BufferCaps, g.Base.BufferCap) {
 						for _, arb := range axis(g.Arbiters, g.Base.Arbiter) {
-							cfg := g.Base
-							cfg.Processors = n
-							cfg.ThinkRate = lambda
-							cfg.ServiceRate = mu
-							cfg.Mode = mode
-							cfg.BufferCap = capacity
-							cfg.Arbiter = arb
-							if err := cfg.Validate(); err != nil {
-								return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+							for _, weights := range axis(g.Weights, g.Base.Weights) {
+								for _, traffic := range axis(g.Traffics, g.Base.Traffic) {
+									cfg := g.Base
+									cfg.Processors = n
+									cfg.ThinkRate = lambda
+									cfg.ServiceRate = mu
+									cfg.Mode = mode
+									cfg.BufferCap = capacity
+									cfg.Arbiter = arb
+									cfg.Weights = weights
+									cfg.Traffic = traffic
+									if err := cfg.Validate(); err != nil {
+										return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+									}
+									points = append(points, cfg)
+								}
 							}
-							points = append(points, cfg)
 						}
 					}
 				}

@@ -47,6 +47,83 @@ func TestGridPoints(t *testing.T) {
 	}
 }
 
+// The traffic and weights axes expand like every other axis — traffic
+// innermost — and each point carries its full shape spec, so a
+// burstiness curve is just a grid over Traffic values.
+func TestGridTrafficAndWeightsAxes(t *testing.T) {
+	base := testBase()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	g := Grid{
+		Base: base,
+		Arbiters: []string{
+			busnet.RoundRobin.String(),
+			busnet.WeightedRoundRobin.String(),
+		},
+		Weights: []string{"", "4,2,1,1,1,1,1,1"},
+		Traffics: []busnet.Traffic{
+			busnet.PoissonTraffic(),
+			busnet.MMPP2Traffic(0.05, 0.4, 0.01, 0.05),
+			busnet.OnOffTraffic(0.5, 0.25, 100),
+		},
+	}
+	points, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*2*3 {
+		t.Fatalf("expanded %d points, want 12", len(points))
+	}
+	// Traffic varies innermost, then weights, then arbiter.
+	if points[0].Traffic.Kind != busnet.TrafficPoisson || points[1].Traffic.Kind != busnet.TrafficMMPP2 {
+		t.Fatalf("traffic not innermost: %q then %q", points[0].Traffic.Kind, points[1].Traffic.Kind)
+	}
+	if points[2].Traffic != g.Traffics[2] {
+		t.Fatalf("point 2 lost its traffic spec: %+v", points[2].Traffic)
+	}
+	if points[3].Weights != "4,2,1,1,1,1,1,1" || points[3].Arbiter != "round-robin" {
+		t.Fatalf("weights should vary before arbiter: %+v", points[3])
+	}
+	if points[6].Arbiter != busnet.WeightedRoundRobin.String() {
+		t.Fatalf("arbiter should vary outermost of the three: %+v", points[6])
+	}
+	// An invalid traffic point aborts expansion like any other axis.
+	g.Traffics = append(g.Traffics, busnet.Traffic{Kind: "pareto"})
+	if _, err := g.Points(); err == nil {
+		t.Fatal("grid with an invalid traffic point expanded without error")
+	}
+}
+
+// Bursty points reduce like Poisson ones — but without an analytic
+// overlay, since no closed form exists off the Poisson assumption.
+func TestBurstyPointsOmitAnalytic(t *testing.T) {
+	base := testBase()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	res, err := Run(Spec{
+		Grid: Grid{
+			Base: base,
+			Traffics: []busnet.Traffic{
+				busnet.PoissonTraffic(),
+				busnet.MMPP2Traffic(0.05, 0.4, 0.01, 0.05),
+			},
+		},
+		Replications: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Analytic == nil {
+		t.Error("poisson point missing its analytic prediction")
+	}
+	if res.Points[1].Analytic != nil {
+		t.Error("mmpp2 point carries a Poisson closed form; no analytic model applies")
+	}
+	if !(res.Points[1].Utilization.Mean > 0) {
+		t.Error("mmpp2 point did not simulate")
+	}
+}
+
 func TestGridEmptyAxesUseBase(t *testing.T) {
 	points, err := Grid{Base: testBase()}.Points()
 	if err != nil {
