@@ -13,7 +13,7 @@ import (
 // steady state exists).
 var csvHeader = []string{
 	"scenario", "curve", "point",
-	"processors", "think_rate", "service_rate", "mode", "buffer_cap", "arbiter",
+	"processors", "buses", "think_rate", "service_rate", "mode", "buffer_cap", "arbiter",
 	"weights", "traffic", "traffic_detail", "mean_think_rate",
 	"seed", "horizon", "warmup", "replications",
 	"util_mean", "util_ci95",
@@ -39,7 +39,7 @@ func writeCSV(w io.Writer, report Report) error {
 		for p, pt := range curve.Result.Points {
 			row := []string{
 				report.Scenario, curve.Name, i(p),
-				i(pt.Config.Processors), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
+				i(pt.Config.Processors), i(pt.Config.Buses), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
 				pt.Config.Mode, i(pt.Config.BufferCap), pt.Config.Arbiter,
 				pt.Config.Weights, pt.Config.Traffic.Kind, pt.Config.Traffic.Detail(),
 				f(pt.Config.MeanThinkRate()),

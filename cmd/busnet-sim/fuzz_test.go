@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+// FuzzScenarioConfigJSON fuzzes the Config JSON decode → Validate →
+// re-encode pipeline every report row goes through, seeded with the
+// real configs of every registered scenario — the corpus is the
+// registry itself, so new scenarios automatically widen it. For any
+// byte string that decodes into a valid config, the canonical form must
+// round-trip through JSON unchanged and still validate.
+func FuzzScenarioConfigJSON(f *testing.F) {
+	params := Params{Seed: 42, Horizon: 2000, Replications: 2}
+	for _, name := range scenarioNames() {
+		for _, c := range registry[name].Curves {
+			points, err := c.grid(params).Points()
+			if err != nil {
+				f.Fatal(err)
+			}
+			for _, cfg := range points {
+				blob, err := json.Marshal(cfg)
+				if err != nil {
+					f.Fatal(err)
+				}
+				f.Add(blob)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cfg busnet.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			t.Skip("not a config document")
+		}
+		if cfg.Processors > 1<<12 || cfg.BufferCap > 1<<12 || cfg.Buses > 1<<12 ||
+			len(cfg.Weights) > 1<<12 {
+			t.Skip("legal but deliberately O(N·cap) — not a robustness finding")
+		}
+		if err := cfg.Validate(); err != nil {
+			return // rejected cleanly
+		}
+		net, err := busnet.FromConfig(cfg)
+		if err != nil {
+			t.Fatalf("Validate accepted a config FromConfig rejects: %v\n%s", err, data)
+		}
+		canon := net.Config()
+		blob, err := json.Marshal(canon)
+		if err != nil {
+			t.Fatalf("canonical config does not marshal: %v\n%+v", err, canon)
+		}
+		var back busnet.Config
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("re-decode failed: %v\n%s", err, blob)
+		}
+		if back != canon {
+			t.Fatalf("JSON round trip changed the config:\n%+v\nvs\n%+v", back, canon)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped config no longer validates: %v\n%s", err, blob)
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -60,9 +61,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown format %q; want json or csv", *format)
 	}
 	// Reject rather than silently substitute a default: the report echoes
-	// params.replications, which must match what actually ran.
+	// params.replications and params.horizon, which must match what
+	// actually ran — and a non-positive (or NaN/infinite) horizon would
+	// run a degenerate simulation whose every statistic is vacuous.
 	if *reps < 1 {
 		return fmt.Errorf("-replications = %d, need ≥ 1", *reps)
+	}
+	if !(*horizon > 0) || math.IsInf(*horizon, 1) {
+		return fmt.Errorf("-horizon = %v, need finite and > 0", *horizon)
 	}
 	sc, ok := registry[*name]
 	if !ok {

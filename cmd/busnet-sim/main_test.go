@@ -207,10 +207,105 @@ func TestCSVOutput(t *testing.T) {
 }
 
 func TestInvalidReplicationsRejected(t *testing.T) {
+	for _, reps := range []string{"0", "-3"} {
+		var out, errOut bytes.Buffer
+		args := []string{"-scenario", "finite-buffer", "-replications", reps}
+		if err := run(args, &out, &errOut); err == nil {
+			t.Fatalf("-replications=%s accepted; the echoed params would contradict the data", reps)
+		}
+	}
+}
+
+// A degenerate horizon must be rejected up front with a clear error,
+// not silently run a simulation whose every statistic is vacuous (or,
+// for +Inf, never returns).
+func TestInvalidHorizonRejected(t *testing.T) {
+	for _, horizon := range []string{"0", "-100", "NaN", "+Inf"} {
+		var out, errOut bytes.Buffer
+		args := []string{"-scenario", "finite-buffer", "-horizon", horizon}
+		err := run(args, &out, &errOut)
+		if err == nil {
+			t.Fatalf("-horizon=%s accepted; want a validation error", horizon)
+		}
+		if !strings.Contains(err.Error(), "horizon") {
+			t.Fatalf("-horizon=%s error %q does not name the flag", horizon, err)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("-horizon=%s produced output alongside the error", horizon)
+		}
+	}
+}
+
+// The multibus scenario must emit one curve point per declared fabric
+// width, with the buses column carried as CSV provenance and analytic
+// overlays on every point (all multibus grids are stable by
+// construction).
+func TestMultiBusCurvesSweepBusCounts(t *testing.T) {
 	var out, errOut bytes.Buffer
-	args := []string{"-scenario", "finite-buffer", "-replications", "0"}
-	if err := run(args, &out, &errOut); err == nil {
-		t.Fatal("-replications=0 accepted; the echoed params would contradict the data")
+	args := []string{"-scenario", "multibus-curves", "-horizon", "2000", "-replications", "2", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	curve := col(t, header, "curve")
+	buses := col(t, header, "buses")
+	mode := col(t, header, "mode")
+	analytic := col(t, header, "analytic_util")
+	seen := map[string]map[string]bool{}
+	for _, row := range rows[1:] {
+		if seen[curve(row)] == nil {
+			seen[curve(row)] = map[string]bool{}
+		}
+		seen[curve(row)][buses(row)] = true
+		if analytic(row) == "" {
+			t.Errorf("curve %s buses %s: missing analytic overlay", curve(row), buses(row))
+		}
+	}
+	for _, c := range []string{"multibus-unbuffered", "multibus-buffered"} {
+		for _, m := range []string{"1", "2", "4", "8"} {
+			if !seen[c][m] {
+				t.Errorf("curve %s missing the buses=%s point", c, m)
+			}
+		}
+	}
+	for _, m := range []string{"1", "2", "4"} {
+		if !seen["buffering-vs-buses"][m] {
+			t.Errorf("buffering-vs-buses missing the buses=%s point", m)
+		}
+	}
+	// The cost-comparison curve crosses modes at every width.
+	var modes []string
+	for _, row := range rows[1:] {
+		if curve(row) == "buffering-vs-buses" && buses(row) == "2" {
+			modes = append(modes, mode(row))
+		}
+	}
+	if len(modes) != 2 || modes[0] == modes[1] {
+		t.Errorf("buffering-vs-buses at m=2 has modes %v, want unbuffered and buffered", modes)
+	}
+}
+
+// Every single-bus scenario must report buses = 1 in every CSV row: the
+// fabric rides along as provenance without touching the paper's curves.
+func TestExistingScenariosReportSingleBus(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "paper-curves", "-horizon", "1500", "-replications", "2", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buses := col(t, rows[0], "buses")
+	for _, row := range rows[1:] {
+		if buses(row) != "1" {
+			t.Fatalf("paper-curves row reports buses = %q, want 1", buses(row))
+		}
 	}
 }
 
@@ -256,7 +351,7 @@ func TestArbiterFairnessExposesGrants(t *testing.T) {
 // CSV report must carry exactly that many data rows — the contract the
 // CI smoke test is built on.
 func TestPointsFlagMatchesCSVRows(t *testing.T) {
-	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter"} {
+	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter", "multibus-curves"} {
 		t.Run(name, func(t *testing.T) {
 			var pointsOut, errOut bytes.Buffer
 			if err := run([]string{"-scenario", name, "-points"}, &pointsOut, &errOut); err != nil {

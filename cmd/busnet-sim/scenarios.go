@@ -233,6 +233,64 @@ var (
 	}
 )
 
+// Multi-bus curves: the fabric-width axis the paper's single bus cannot
+// produce. All three hold N·λ/μ fixed so the only thing moving along a
+// curve is the number of buses (or, in the cost comparison, how the
+// "budget" is spent — extra buses vs interface buffers).
+var (
+	curveMultiBusUnbuffered = Curve{
+		Name:   "multibus-unbuffered",
+		Figure: "per-bus utilization and mean wait vs bus count, unbuffered",
+		Description: "Finite-source M/M/m//N: N=32 blocking processors at λ=0.1, μ=1 " +
+			"(single-bus demand Nλ/μ = 3.2) relieved by m ∈ {1, 2, 4, 8} parallel buses",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeUnbuffered
+			base.Processors = 32
+			base.ThinkRate = 0.1
+			return sweep.Grid{
+				Base:  base,
+				Buses: []int{1, 2, 4, 8},
+			}
+		},
+	}
+	curveMultiBusBuffered = Curve{
+		Name:   "multibus-buffered",
+		Figure: "mean wait and queue length vs bus count, infinite buffers",
+		Description: "Erlang-C M/M/m at N=16, Nλ/μ = 0.9: the single-bus ρ=0.9 queue " +
+			"drains as m ∈ {1, 2, 4, 8} buses split the same offered load",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeBuffered
+			base.BufferCap = busnet.Infinite
+			base.Processors = 16
+			base.ThinkRate = 0.9 / 16
+			return sweep.Grid{
+				Base:  base,
+				Buses: []int{1, 2, 4, 8},
+			}
+		},
+	}
+	curveBufferingVsBuses = Curve{
+		Name:   "buffering-vs-buses",
+		Figure: "buffering vs extra buses at the same workload",
+		Description: "The fabric's cost question at N=16, λ=0.05, μ=1 (demand 0.8): " +
+			"blocking vs 4-deep interface buffers, crossed with m ∈ {1, 2, 4} buses — " +
+			"whether a second bus buys more than deeper buffers",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Processors = 16
+			base.ThinkRate = 0.05
+			base.BufferCap = 4
+			return sweep.Grid{
+				Base:  base,
+				Buses: []int{1, 2, 4},
+				Modes: []string{busnet.ModeUnbuffered, busnet.ModeBuffered},
+			}
+		},
+	}
+)
+
 // single wraps one curve as its own scenario, keeping the registry key,
 // scenario name, and curve name in lockstep.
 func single(c Curve) Scenario {
@@ -274,6 +332,16 @@ var registry = map[string]Scenario{
 	"mmpp2-burstiness": single(curveMMPP2Burstiness),
 	"onoff-duty":       single(curveOnOffDuty),
 	"traffic-shapes":   single(curveTrafficShapes),
+	"multibus-curves": {
+		Name: "multibus-curves",
+		Description: "Multi-bus fabric curves at fixed N·λ/μ: unbuffered M/M/m//N and " +
+			"buffered Erlang-C sweeps over m ∈ {1, 2, 4, 8}, plus buffering vs extra buses " +
+			"at the same workload",
+		Curves: []Curve{curveMultiBusUnbuffered, curveMultiBusBuffered, curveBufferingVsBuses},
+	},
+	"multibus-unbuffered": single(curveMultiBusUnbuffered),
+	"multibus-buffered":   single(curveMultiBusBuffered),
+	"buffering-vs-buses":  single(curveBufferingVsBuses),
 	"weighted-arbiter": single(Curve{
 		Name:   "weighted-arbiter",
 		Figure: "weighted round-robin grant shares under saturation",

@@ -10,7 +10,9 @@ import (
 	"math"
 )
 
-// Prediction holds steady-state quantities for the shared bus.
+// Prediction holds steady-state quantities for the shared bus (or, in
+// the multi-bus forms, the bus fabric: Utilization is then the mean
+// fraction of busy buses, matching the simulator's aggregate).
 type Prediction struct {
 	Utilization  float64 `json:"utilization"`
 	Throughput   float64 `json:"throughput"`
@@ -27,6 +29,11 @@ type Prediction struct {
 //	p_k ∝ N!/(N-k)! · (λ/μ)^k,  k = 0..N,
 //
 // where k is the number of processors waiting at or using the bus.
+// The unnormalized terms grow like N!·ρ^N, so for large N they are
+// accumulated with periodic rescaling (the ratios, which are all that
+// survive normalization, are preserved); a load so extreme that a
+// single step outruns even that collapses to the exact saturation
+// limit instead of NaN.
 func Unbuffered(n int, lambda, mu float64) Prediction {
 	rho := lambda / mu
 	term := 1.0 // p_k unnormalized
@@ -36,9 +43,21 @@ func Unbuffered(n int, lambda, mu float64) Prediction {
 		term *= float64(n-k+1) * rho
 		sum += term
 		lSum += float64(k) * term
+		if term > 1e250 {
+			term /= 1e250
+			sum /= 1e250
+			lSum /= 1e250
+		}
 	}
-	p0 := 1 / sum
-	l := lSum / sum // mean number at the bus, including in service
+	var p0, l float64
+	if math.IsInf(sum, 1) || math.IsInf(lSum, 1) {
+		// All mass in the top state: every processor at the bus.
+		p0 = 0
+		l = float64(n)
+	} else {
+		p0 = 1 / sum
+		l = lSum / sum // mean number at the bus, including in service
+	}
 	u := 1 - p0
 	x := mu * u
 	w := l / x // Little's law: response per request at the bus
@@ -126,5 +145,155 @@ func BufferedFinite(n int, lambda, mu float64, capacity int) (Prediction, error)
 		MeanWait:     w - 1/mu,
 		MeanResponse: w,
 		MeanQueueLen: l - u,
+	}, nil
+}
+
+// MultiUnbuffered is the exact finite-source M/M/m//N ("machine
+// repairman with m repairmen") model of the unbuffered regime on a
+// fabric of m identical buses: each of the N processors thinks for an
+// exponential time with rate λ, then blocks until one of the m buses
+// (each serving at rate μ) has completed its request. The state
+// probabilities generalize the single-bus recurrence with a k-dependent
+// service term,
+//
+//	p_k ∝ N!/(N-k)! · (λ/μ)^k / Π_{j=1..k} min(j, m),  k = 0..N,
+//
+// where k is the number of processors waiting at or using the fabric.
+// Utilization is the mean fraction of busy buses E[min(k,m)]/m, so at
+// m = 1 every quantity degenerates to Unbuffered exactly. As there,
+// the unnormalized terms are accumulated with periodic rescaling so
+// large N cannot overflow float64 into NaN predictions.
+func MultiUnbuffered(n, m int, lambda, mu float64) (Prediction, error) {
+	if m < 1 {
+		return Prediction{}, fmt.Errorf("analytic: buses = %d, need ≥ 1", m)
+	}
+	rho := lambda / mu
+	term := 1.0 // p_k unnormalized
+	sum := 1.0  // Σ terms
+	lSum := 0.0 // Σ k·term
+	bSum := 0.0 // Σ min(k,m)·term: unnormalized mean busy buses
+	for k := 1; k <= n; k++ {
+		term *= float64(n-k+1) * rho / math.Min(float64(k), float64(m))
+		sum += term
+		lSum += float64(k) * term
+		bSum += math.Min(float64(k), float64(m)) * term
+		if term > 1e250 {
+			term /= 1e250
+			sum /= 1e250
+			lSum /= 1e250
+			bSum /= 1e250
+		}
+	}
+	var l, busy float64
+	if math.IsInf(sum, 1) || math.IsInf(lSum, 1) {
+		// All mass in the top state: every processor at the fabric.
+		l = float64(n)
+		busy = math.Min(float64(n), float64(m))
+	} else {
+		l = lSum / sum    // mean number at the fabric, including in service
+		busy = bSum / sum // mean number of busy buses
+	}
+	x := mu * busy
+	w := l / x // Little's law: response per request at the fabric
+	return Prediction{
+		Utilization:  busy / float64(m),
+		Throughput:   x,
+		MeanWait:     w - 1/mu,
+		MeanResponse: w,
+		MeanQueueLen: l - busy,
+	}, nil
+}
+
+// MultiBufferedInfinite models the buffered regime with unbounded
+// interface queues on m buses as an open M/M/m queue (Erlang C):
+// processors never block, so requests arrive Poisson at aggregate rate
+// Nλ and are drained by m servers of rate μ each. The waiting
+// probability comes from the numerically stable Erlang-B recurrence
+// B(j) = a·B(j−1)/(j + a·B(j−1)) with C = B(m)/(1 − ρ(1−B(m))). It
+// errors when the offered load Nλ/(mμ) ≥ 1, where no steady state
+// exists. At m = 1, C collapses to ρ and every quantity to the M/M/1
+// forms of BufferedInfinite.
+func MultiBufferedInfinite(n, m int, lambda, mu float64) (Prediction, error) {
+	if m < 1 {
+		return Prediction{}, fmt.Errorf("analytic: buses = %d, need ≥ 1", m)
+	}
+	lam := float64(n) * lambda
+	a := lam / mu // offered load in Erlangs
+	rho := a / float64(m)
+	if rho >= 1 {
+		return Prediction{}, fmt.Errorf(
+			"analytic: offered load Nλ/(mμ) = %.3f ≥ 1, infinite-buffer system is unstable", rho)
+	}
+	b := 1.0 // Erlang-B blocking probability, built up server by server
+	for j := 1; j <= m; j++ {
+		b = a * b / (float64(j) + a*b)
+	}
+	c := b / (1 - rho*(1-b)) // Erlang-C probability an arrival waits
+	wq := c / (float64(m)*mu - lam)
+	return Prediction{
+		Utilization:  rho,
+		Throughput:   lam,
+		MeanWait:     wq,
+		MeanResponse: wq + 1/mu,
+		MeanQueueLen: lam * wq, // Little's law on the waiting room
+	}, nil
+}
+
+// MultiBufferedFinite approximates the buffered regime with
+// per-processor capacity c on m buses as an M/M/m/K queue with system
+// capacity K = N·c + m (total buffer slots plus the m requests in
+// service), the m-server generalization of BufferedFinite's M/M/1/K
+// (whose K = N·c + 1 it reproduces at m = 1). Backpressure is
+// approximated as loss, so the model is accurate when blocking is rare
+// and optimistic when the buffers saturate. Wait and response are per
+// admitted request.
+func MultiBufferedFinite(n, m int, lambda, mu float64, capacity int) (Prediction, error) {
+	if m < 1 {
+		return Prediction{}, fmt.Errorf("analytic: buses = %d, need ≥ 1", m)
+	}
+	if capacity < 1 {
+		return Prediction{}, fmt.Errorf("analytic: capacity = %d, need ≥ 1", capacity)
+	}
+	lam := float64(n) * lambda
+	a := lam / mu
+	k := n*capacity + m
+	// p_j ∝ a^j/j! for j ≤ m and p_m·(a/m)^(j−m) beyond; accumulate the
+	// unnormalized terms with periodic rescaling so a supercritical load
+	// (a/m > 1) cannot overflow float64 over a deep buffer — the ratios,
+	// which are all that survive the division by sum, are preserved.
+	term := 1.0
+	sum := 1.0
+	lSum := 0.0 // Σ j·term
+	bSum := 0.0 // Σ min(j,m)·term
+	for j := 1; j <= k; j++ {
+		term *= a / math.Min(float64(j), float64(m))
+		sum += term
+		lSum += float64(j) * term
+		bSum += math.Min(float64(j), float64(m)) * term
+		if term > 1e250 {
+			term /= 1e250
+			sum /= 1e250
+			lSum /= 1e250
+			bSum /= 1e250
+		}
+	}
+	var l, busy float64
+	if math.IsInf(sum, 1) || math.IsInf(lSum, 1) {
+		// A single step outran the rescale (astronomical a): all mass sits
+		// in the top state — the exact saturation limit.
+		l = float64(k)
+		busy = float64(m)
+	} else {
+		l = lSum / sum
+		busy = bSum / sum
+	}
+	x := mu * busy // admitted throughput = service completions
+	w := l / x
+	return Prediction{
+		Utilization:  busy / float64(m),
+		Throughput:   x,
+		MeanWait:     w - 1/mu,
+		MeanResponse: w,
+		MeanQueueLen: l - busy,
 	}, nil
 }

@@ -73,6 +73,18 @@ func TestUnbufferedProperties(t *testing.T) {
 	if p.Utilization < 0.9999 {
 		t.Fatalf("saturated U = %v, want → 1", p.Utilization)
 	}
+	// Large populations must not overflow the factorial-like terms into
+	// NaN: N!·ρ^N passes float64's range near N ≈ 180 at ρ = 1.
+	// Regression guard for the rescaled accumulation.
+	for _, n := range []int{200, 3000} {
+		big := Unbuffered(n, 1, 1)
+		if math.IsNaN(big.Utilization) || math.IsNaN(big.MeanWait) {
+			t.Fatalf("n=%d: prediction overflowed to NaN: %+v", n, big)
+		}
+		if big.Utilization < 0.999999 || big.Utilization > 1 {
+			t.Fatalf("n=%d: saturated U = %v, want → 1", n, big.Utilization)
+		}
+	}
 }
 
 func TestBufferedInfiniteMatchesMM1(t *testing.T) {
@@ -162,5 +174,215 @@ func TestBufferedFinite(t *testing.T) {
 	wantU := 1 - 1/float64(k+1)
 	if !close(bal.Utilization, wantU, 1e-12) {
 		t.Fatalf("balanced U = %v, want %v", bal.Utilization, wantU)
+	}
+}
+
+// predictionsClose compares every field of two predictions at relTol.
+func predictionsClose(t *testing.T, got, want Prediction, relTol float64, context string) {
+	t.Helper()
+	fields := []struct {
+		name      string
+		got, want float64
+	}{
+		{"utilization", got.Utilization, want.Utilization},
+		{"throughput", got.Throughput, want.Throughput},
+		{"mean_wait", got.MeanWait, want.MeanWait},
+		{"mean_response", got.MeanResponse, want.MeanResponse},
+		{"mean_queue_len", got.MeanQueueLen, want.MeanQueueLen},
+	}
+	for _, f := range fields {
+		if !close(f.got, f.want, relTol) && math.Abs(f.got-f.want) > 1e-12 {
+			t.Errorf("%s: %s = %v, want %v", context, f.name, f.got, f.want)
+		}
+	}
+}
+
+// The correctness spine of the multi-bus forms: at m = 1 each must
+// degenerate to its exact single-bus counterpart. MultiUnbuffered runs
+// the identical recurrence (the extra division is by 1.0, which is
+// exact); the buffered pair go through algebraically different but
+// equivalent routes, so they get a tight tolerance instead of bit
+// equality.
+func TestMultiFormsDegenerateToSingleBus(t *testing.T) {
+	operating := []struct {
+		n          int
+		lambda, mu float64
+	}{
+		{1, 0.3, 1.2},
+		{4, 0.05, 1},
+		{8, 0.1, 1},
+		{16, 0.05, 1},
+		{32, 0.02, 0.8},
+	}
+	for _, op := range operating {
+		multi, err := MultiUnbuffered(op.n, 1, op.lambda, op.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predictionsClose(t, multi, Unbuffered(op.n, op.lambda, op.mu), 1e-12,
+			"multi-unbuffered m=1")
+
+		single, serr := BufferedInfinite(op.n, op.lambda, op.mu)
+		mm1, merr := MultiBufferedInfinite(op.n, 1, op.lambda, op.mu)
+		if (serr == nil) != (merr == nil) {
+			t.Fatalf("n=%d: stability verdicts disagree: single %v, multi %v", op.n, serr, merr)
+		}
+		if serr == nil {
+			predictionsClose(t, mm1, single, 1e-12, "erlang-c m=1")
+		}
+
+		for _, capacity := range []int{1, 4, 16} {
+			fs, err := BufferedFinite(op.n, op.lambda, op.mu, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fm, err := MultiBufferedFinite(op.n, 1, op.lambda, op.mu, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			predictionsClose(t, fm, fs, 1e-9, "mmmk m=1")
+		}
+	}
+}
+
+// Erlang C at a textbook point: M/M/2 with λ=1, μ=1 (a=1, ρ=0.5) has
+// waiting probability exactly 1/3, so Wq = Lq = 1/3.
+func TestErlangCTextbookValue(t *testing.T) {
+	p, err := MultiBufferedInfinite(10, 2, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := 1.0 / 3
+	if !close(p.MeanWait, third, 1e-12) {
+		t.Fatalf("M/M/2 Wq = %v, want 1/3", p.MeanWait)
+	}
+	if !close(p.MeanQueueLen, third, 1e-12) {
+		t.Fatalf("M/M/2 Lq = %v, want 1/3", p.MeanQueueLen)
+	}
+	if !close(p.Utilization, 0.5, 1e-12) || !close(p.Throughput, 1, 1e-12) {
+		t.Fatalf("M/M/2 U/X = %v/%v, want 0.5/1", p.Utilization, p.Throughput)
+	}
+}
+
+// Adding buses at fixed workload must help monotonically: waits fall,
+// throughput rises (unbuffered: blocked processors are released
+// sooner), and per-bus utilization falls. With m ≥ N no unbuffered
+// request can ever queue.
+func TestMultiUnbufferedMonotoneInBuses(t *testing.T) {
+	const n, lambda, mu = 32, 0.1, 1.0 // single-bus demand Nλ/μ = 3.2
+	prev, err := MultiUnbuffered(n, 1, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := Unbuffered(n, lambda, mu)
+	predictionsClose(t, prev, single, 1e-12, "m=1 vs single-bus form")
+	for _, m := range []int{2, 4, 8, 16} {
+		p, err := MultiUnbuffered(n, m, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(p.MeanWait < prev.MeanWait) {
+			t.Errorf("m=%d: wait %v not below m/2's %v", m, p.MeanWait, prev.MeanWait)
+		}
+		if !(p.Throughput > prev.Throughput) {
+			t.Errorf("m=%d: throughput %v not above m/2's %v", m, p.Throughput, prev.Throughput)
+		}
+		if !(p.Utilization < prev.Utilization) {
+			t.Errorf("m=%d: per-bus utilization %v not below m/2's %v", m, p.Utilization, prev.Utilization)
+		}
+		if p.Utilization <= 0 || p.Utilization > 1 {
+			t.Errorf("m=%d: utilization %v outside (0, 1]", m, p.Utilization)
+		}
+		// Little's law on the waiting room holds for every m (absolute
+		// escape: near m = N the queue vanishes and relative error is noise).
+		if lq := p.Throughput * p.MeanWait; !close(p.MeanQueueLen, lq, 1e-9) &&
+			math.Abs(p.MeanQueueLen-lq) > 1e-12 {
+			t.Errorf("m=%d: Lq %v != X·Wq %v", m, p.MeanQueueLen, lq)
+		}
+		prev = p
+	}
+	// Large populations must not overflow into NaN (the same rescaled
+	// accumulation as Unbuffered); Little's-law consistency must survive.
+	for _, big := range []struct{ n, m int }{{200, 2}, {3000, 2}, {4096, 8}} {
+		p, err := MultiUnbuffered(big.n, big.m, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(p.Utilization) || math.IsNaN(p.MeanWait) || math.IsNaN(p.MeanQueueLen) {
+			t.Fatalf("n=%d m=%d: prediction overflowed to NaN: %+v", big.n, big.m, p)
+		}
+		if p.Utilization < 0.999999 || p.Utilization > 1 {
+			t.Fatalf("n=%d m=%d: saturated per-bus U = %v, want → 1", big.n, big.m, p.Utilization)
+		}
+	}
+	noQueue, err := MultiUnbuffered(8, 8, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(noQueue.MeanWait) > 1e-9 || math.Abs(noQueue.MeanQueueLen) > 1e-9 {
+		t.Fatalf("m = N cannot queue: wait=%v qlen=%v", noQueue.MeanWait, noQueue.MeanQueueLen)
+	}
+	if !close(noQueue.MeanResponse, 1, 1e-9) {
+		t.Fatalf("m = N response = %v, want pure service 1", noQueue.MeanResponse)
+	}
+}
+
+// Stability boundary of the Erlang-C form is Nλ/(mμ), not Nλ/μ: a load
+// that overwhelms one bus is fine on four.
+func TestMultiBufferedInfiniteStability(t *testing.T) {
+	if _, err := MultiBufferedInfinite(16, 1, 0.1, 1); err == nil {
+		t.Fatal("offered load 1.6 on one bus accepted")
+	}
+	if _, err := MultiBufferedInfinite(16, 2, 0.1, 1); err != nil {
+		t.Fatalf("1.6 Erlangs on 2 buses is stable (ρ = 0.8), got %v", err)
+	}
+	p, err := MultiBufferedInfinite(16, 4, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(p.Utilization, 0.4, 1e-12) {
+		t.Fatalf("ρ = %v, want 1.6/4 = 0.4", p.Utilization)
+	}
+	for _, m := range []int{0, -2} {
+		if _, err := MultiBufferedInfinite(4, m, 0.1, 1); err == nil {
+			t.Fatalf("buses = %d accepted", m)
+		}
+		if _, err := MultiUnbuffered(4, m, 0.1, 1); err == nil {
+			t.Fatalf("unbuffered buses = %d accepted", m)
+		}
+		if _, err := MultiBufferedFinite(4, m, 0.1, 1, 2); err == nil {
+			t.Fatalf("finite buses = %d accepted", m)
+		}
+	}
+}
+
+func TestMultiBufferedFinite(t *testing.T) {
+	if _, err := MultiBufferedFinite(4, 2, 0.1, 1, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	// Large buffers converge to Erlang C when stable.
+	big, err := MultiBufferedFinite(16, 4, 0.05, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erlang, err := MultiBufferedInfinite(16, 4, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictionsClose(t, big, erlang, 1e-6, "deep finite vs Erlang C")
+	// Supercritical load over a deep buffer must stay finite (the
+	// rescaled accumulation) with every bus pinned busy.
+	deep, err := MultiBufferedFinite(64, 4, 1, 0.0625, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(deep.MeanWait) || math.IsInf(deep.MeanWait, 0) || math.IsNaN(deep.Utilization) {
+		t.Fatalf("deep-buffer prediction not finite: %+v", deep)
+	}
+	if deep.Utilization < 0.999999 || deep.Utilization > 1 {
+		t.Fatalf("deep-buffer saturated U = %v, want → 1", deep.Utilization)
+	}
+	if !close(deep.Throughput, 4*0.0625*deep.Utilization, 1e-9) {
+		t.Fatalf("saturated X = %v, want mμU = %v", deep.Throughput, 4*0.0625*deep.Utilization)
 	}
 }

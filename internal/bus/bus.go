@@ -1,14 +1,19 @@
-// Package bus models a multiplexed single-bus multiprocessor network in
-// the two regimes of the source paper: unbuffered, where a processor
-// blocks from the moment it issues a bus request until the bus has served
-// it, and buffered, where requests queue at the processor's bus interface
-// (finite or unbounded capacity) and the processor keeps computing.
+// Package bus models a multiplexed bus multiprocessor network in the
+// two regimes of the source paper: unbuffered, where a processor blocks
+// from the moment it issues a bus request until the fabric has served
+// it, and buffered, where requests queue at the processor's bus
+// interface (finite or unbounded capacity) and the processor keeps
+// computing.
 //
-// The model is a closed network of N processors around one shared bus.
-// Each processor alternates between thinking (local work, exponential with
-// rate ThinkRate) and issuing a bus transaction whose service time on the
-// bus is exponential with rate ServiceRate. An Arbiter picks which
-// processor's interface the bus serves next.
+// The model is a closed network of N processors around a fabric of
+// Buses identical multiplexed buses behind a single arbitration point
+// (Buses = 1, the default, is the paper's single shared bus). Each
+// processor alternates between thinking (local work, exponential with
+// rate ThinkRate) and issuing a bus transaction whose service time is
+// exponential with rate ServiceRate on whichever bus serves it. An
+// Arbiter picks which processor's interface is granted next; the grant
+// goes to the lowest-numbered free bus, and each bus serves
+// independently.
 package bus
 
 import (
@@ -49,10 +54,14 @@ const Infinite = -1
 type Config struct {
 	Processors  int     // N ≥ 1
 	ThinkRate   float64 // λ: per-processor request generation rate while thinking
-	ServiceRate float64 // μ: bus service rate
+	ServiceRate float64 // μ: per-bus service rate
 	Mode        Mode
 	BufferCap   int // per-processor queue capacity in Buffered mode; Infinite for unbounded
 	Arbiter     Arbiter
+	// Buses is the number of identical parallel buses behind the
+	// arbitration point, m ≥ 1. Zero means one — the paper's single-bus
+	// model and the pre-fabric default.
+	Buses int
 	// Sources optionally shapes each processor's request generation: one
 	// workload.Source per processor, consulted every time the processor
 	// re-enters the thinking state. Nil keeps the paper's model — Poisson
@@ -62,11 +71,22 @@ type Config struct {
 	Sources []workload.Source
 }
 
+// buses resolves the configured bus count: 0 means the single-bus
+// default.
+func (c Config) buses() int {
+	if c.Buses == 0 {
+		return 1
+	}
+	return c.Buses
+}
+
 // Validate reports the first configuration error, or nil.
 func (c Config) Validate() error {
 	switch {
 	case c.Processors < 1:
 		return fmt.Errorf("bus: Processors = %d, need ≥ 1", c.Processors)
+	case c.Buses < 0:
+		return fmt.Errorf("bus: Buses = %d, need ≥ 1 (or 0 for the single-bus default)", c.Buses)
 	case c.Sources == nil && (!(c.ThinkRate > 0) || math.IsInf(c.ThinkRate, 1)):
 		// An infinite rate makes Exp draw 0 forever, freezing the clock.
 		return fmt.Errorf("bus: ThinkRate = %v, need finite and > 0", c.ThinkRate)
@@ -95,28 +115,32 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Network is the simulated single-bus system. It is not safe for
+// Network is the simulated bus-fabric system. It is not safe for
 // concurrent use; all mutation happens inside engine callbacks.
 type Network struct {
 	cfg     Config
 	eng     *sim.Engine
 	rng     *sim.RNG
+	nBuses  int               // resolved cfg.buses()
 	sources []workload.Source // per-processor think-time generators
 
-	queues  [][]float64 // per-processor FIFO of issue times awaiting the bus
+	queues  [][]float64 // per-processor FIFO of issue times awaiting a bus
 	pending []bool      // queues[i] is nonempty
 	stalled []float64   // Buffered finite: issue time of the request held at a
 	// full interface (processor stalled); NaN when none
-	queued     int // total requests waiting across all interfaces
-	busBusy    bool
-	serving    int     // processor whose request is on the bus
-	servIssued float64 // issue time of the request on the bus
+	queued     int       // total requests waiting across all interfaces
+	busy       int       // buses currently serving
+	serving    []int     // per-bus processor whose request it serves; -1 when idle
+	servIssued []float64 // per-bus issue time of the request in service
+	completeFn []func()  // per-bus completion callbacks, built once so the
+	// dispatch hot path schedules without allocating a closure per grant
 
 	statsStart  float64
-	util        sim.TimeWeighted // bus busy indicator (0/1)
-	qlen        sim.TimeWeighted // total waiting requests, excluding the one in service
-	wait        sim.Tally        // issue → service start
-	resp        sim.Tally        // issue → completion
+	util        sim.TimeWeighted   // fraction of busy buses (0/1 when nBuses == 1)
+	busUtil     []sim.TimeWeighted // per-bus busy indicator (0/1)
+	qlen        sim.TimeWeighted   // total waiting requests, excluding those in service
+	wait        sim.Tally          // issue → service start
+	resp        sim.Tally          // issue → completion
 	issued      uint64
 	completions uint64
 	grants      []uint64 // bus grants per processor, for fairness analysis
@@ -129,14 +153,18 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{
-		cfg:     cfg,
-		eng:     eng,
-		rng:     rng,
-		sources: cfg.Sources,
-		queues:  make([][]float64, cfg.Processors),
-		pending: make([]bool, cfg.Processors),
-		stalled: make([]float64, cfg.Processors),
-		grants:  make([]uint64, cfg.Processors),
+		cfg:        cfg,
+		eng:        eng,
+		rng:        rng,
+		nBuses:     cfg.buses(),
+		sources:    cfg.Sources,
+		queues:     make([][]float64, cfg.Processors),
+		pending:    make([]bool, cfg.Processors),
+		stalled:    make([]float64, cfg.Processors),
+		grants:     make([]uint64, cfg.Processors),
+		serving:    make([]int, cfg.buses()),
+		servIssued: make([]float64, cfg.buses()),
+		busUtil:    make([]sim.TimeWeighted, cfg.buses()),
 	}
 	if n.sources == nil {
 		// The paper's default: Poisson think times at ThinkRate. Validate
@@ -152,6 +180,12 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 	}
 	for i := range n.stalled {
 		n.stalled[i] = math.NaN()
+	}
+	n.completeFn = make([]func(), n.nBuses)
+	for b := range n.serving {
+		n.serving[b] = -1
+		n.busUtil[b].Set(0, eng.Now())
+		n.completeFn[b] = func() { n.complete(b) }
 	}
 	n.util.Set(0, eng.Now())
 	n.qlen.Set(0, eng.Now())
@@ -203,46 +237,66 @@ func (n *Network) enqueue(i int, issuedAt float64) {
 	n.qlen.Set(float64(n.queued), n.eng.Now())
 }
 
-// tryDispatch grants the bus to the arbiter's pick when the bus is idle
-// and at least one interface has a waiting request.
-func (n *Network) tryDispatch() {
-	if n.busBusy || n.queued == 0 {
-		return
+// freeBus returns the lowest-numbered idle bus. Callers guarantee one
+// exists (busy < nBuses). The low-index preference concentrates load on
+// bus 0 — visible in the per-bus utilizations — without affecting any
+// aggregate: the buses are identical and memoryless.
+func (n *Network) freeBus() int {
+	for b, p := range n.serving {
+		if p < 0 {
+			return b
+		}
 	}
-	now := n.eng.Now()
-	j := n.cfg.Arbiter.Select(n.pending)
-	issuedAt := n.queues[j][0]
-	n.queues[j] = n.queues[j][1:]
-	n.pending[j] = len(n.queues[j]) > 0
-	n.queued--
-	n.qlen.Set(float64(n.queued), now)
-	n.grants[j]++
-	n.wait.Add(now - issuedAt)
-
-	// Popping freed a slot at interface j; admit a stalled request.
-	if !math.IsNaN(n.stalled[j]) {
-		n.enqueue(j, n.stalled[j])
-		n.stalled[j] = math.NaN()
-		n.scheduleThink(j)
-	}
-
-	n.busBusy = true
-	n.serving = j
-	n.servIssued = issuedAt
-	n.util.Set(1, now)
-	n.eng.Schedule(n.rng.Exp(n.cfg.ServiceRate), n.complete)
+	panic("bus: freeBus called with every bus busy")
 }
 
-// complete fires when the bus finishes the in-flight transaction.
-func (n *Network) complete() {
+// tryDispatch grants waiting requests to the arbiter's picks while any
+// bus is idle and any interface has a waiting request. With one bus
+// this dispatches at most one request per call, exactly the single-bus
+// model; with m buses it drains up to m grants back to back at the same
+// instant, each onto the lowest-numbered free bus.
+func (n *Network) tryDispatch() {
+	for n.busy < n.nBuses && n.queued > 0 {
+		now := n.eng.Now()
+		j := n.cfg.Arbiter.Select(n.pending)
+		issuedAt := n.queues[j][0]
+		n.queues[j] = n.queues[j][1:]
+		n.pending[j] = len(n.queues[j]) > 0
+		n.queued--
+		n.qlen.Set(float64(n.queued), now)
+		n.grants[j]++
+		n.wait.Add(now - issuedAt)
+
+		// Popping freed a slot at interface j; admit a stalled request.
+		if !math.IsNaN(n.stalled[j]) {
+			n.enqueue(j, n.stalled[j])
+			n.stalled[j] = math.NaN()
+			n.scheduleThink(j)
+		}
+
+		b := n.freeBus()
+		n.serving[b] = j
+		n.servIssued[b] = issuedAt
+		n.busy++
+		n.util.Set(float64(n.busy)/float64(n.nBuses), now)
+		n.busUtil[b].Set(1, now)
+		n.eng.Schedule(n.rng.Exp(n.cfg.ServiceRate), n.completeFn[b])
+	}
+}
+
+// complete fires when bus b finishes its in-flight transaction.
+func (n *Network) complete(b int) {
 	now := n.eng.Now()
-	n.resp.Add(now - n.servIssued)
+	n.resp.Add(now - n.servIssued[b])
 	n.completions++
-	n.busBusy = false
-	n.util.Set(0, now)
+	released := n.serving[b]
+	n.serving[b] = -1
+	n.busy--
+	n.util.Set(float64(n.busy)/float64(n.nBuses), now)
+	n.busUtil[b].Set(0, now)
 	if n.cfg.Mode == Unbuffered {
 		// Release the blocked processor back to thinking.
-		n.scheduleThink(n.serving)
+		n.scheduleThink(released)
 	}
 	n.tryDispatch()
 }
@@ -260,28 +314,36 @@ func (n *Network) ResetStats() {
 	for i := range n.grants {
 		n.grants[i] = 0
 	}
-	// The collectors keep their live values (bus busy indicator, current
-	// queue depth) and restart integration at now, so the network state
-	// carries across the truncation point while its history is dropped.
+	// The collectors keep their live values (busy-bus fraction, per-bus
+	// indicators, current queue depth) and restart integration at now, so
+	// the network state carries across the truncation point while its
+	// history is dropped.
 	n.util.ResetAt(now)
+	for b := range n.busUtil {
+		n.busUtil[b].ResetAt(now)
+	}
 	n.qlen.ResetAt(now)
 }
 
 // Metrics is a point-in-time summary of the measured interval
-// [statsStart, now].
+// [statsStart, now]. Utilization is the time-averaged fraction of busy
+// buses (the busy indicator of the single bus when Buses == 1);
+// BusUtilization breaks it down per bus, so its mean equals
+// Utilization and BusUtilization[b]·Elapsed is bus b's busy time.
 type Metrics struct {
-	Elapsed      float64  `json:"elapsed"`
-	Utilization  float64  `json:"utilization"`
-	Throughput   float64  `json:"throughput"`
-	MeanQueueLen float64  `json:"mean_queue_len"`
-	MaxQueueLen  float64  `json:"max_queue_len"`
-	MeanWait     float64  `json:"mean_wait"`
-	WaitStdDev   float64  `json:"wait_std_dev"`
-	MaxWait      float64  `json:"max_wait"`
-	MeanResponse float64  `json:"mean_response"`
-	Issued       uint64   `json:"issued"`
-	Completions  uint64   `json:"completions"`
-	Grants       []uint64 `json:"grants"`
+	Elapsed        float64   `json:"elapsed"`
+	Utilization    float64   `json:"utilization"`
+	BusUtilization []float64 `json:"bus_utilization"`
+	Throughput     float64   `json:"throughput"`
+	MeanQueueLen   float64   `json:"mean_queue_len"`
+	MaxQueueLen    float64   `json:"max_queue_len"`
+	MeanWait       float64   `json:"mean_wait"`
+	WaitStdDev     float64   `json:"wait_std_dev"`
+	MaxWait        float64   `json:"max_wait"`
+	MeanResponse   float64   `json:"mean_response"`
+	Issued         uint64    `json:"issued"`
+	Completions    uint64    `json:"completions"`
+	Grants         []uint64  `json:"grants"`
 }
 
 // Snapshot computes metrics as of the engine's current time without
@@ -293,18 +355,25 @@ func (n *Network) Snapshot() Metrics {
 	util.Finish(now)
 	qlen := n.qlen
 	qlen.Finish(now)
+	perBus := make([]float64, n.nBuses)
+	for b := range perBus {
+		bu := n.busUtil[b]
+		bu.Finish(now)
+		perBus[b] = bu.Average(elapsed)
+	}
 	m := Metrics{
-		Elapsed:      elapsed,
-		Utilization:  util.Average(elapsed),
-		MeanQueueLen: qlen.Average(elapsed),
-		MaxQueueLen:  qlen.Max(),
-		MeanWait:     n.wait.Mean(),
-		WaitStdDev:   n.wait.StdDev(),
-		MaxWait:      n.wait.Max(),
-		MeanResponse: n.resp.Mean(),
-		Issued:       n.issued,
-		Completions:  n.completions,
-		Grants:       append([]uint64(nil), n.grants...),
+		Elapsed:        elapsed,
+		Utilization:    util.Average(elapsed),
+		BusUtilization: perBus,
+		MeanQueueLen:   qlen.Average(elapsed),
+		MaxQueueLen:    qlen.Max(),
+		MeanWait:       n.wait.Mean(),
+		WaitStdDev:     n.wait.StdDev(),
+		MaxWait:        n.wait.Max(),
+		MeanResponse:   n.resp.Mean(),
+		Issued:         n.issued,
+		Completions:    n.completions,
+		Grants:         append([]uint64(nil), n.grants...),
 	}
 	if elapsed > 0 {
 		m.Throughput = float64(n.completions) / elapsed
@@ -313,15 +382,21 @@ func (n *Network) Snapshot() Metrics {
 }
 
 // Outstanding returns the number of requests processor i has in flight:
-// waiting at its interface, stalled at a full interface, or on the bus.
-// Exposed for invariant checks in tests.
+// waiting at its interface, stalled at a full interface, or in service
+// on any bus. Exposed for invariant checks in tests.
 func (n *Network) Outstanding(i int) int {
 	c := len(n.queues[i])
 	if !math.IsNaN(n.stalled[i]) {
 		c++
 	}
-	if n.busBusy && n.serving == i {
-		c++
+	for _, p := range n.serving {
+		if p == i {
+			c++
+		}
 	}
 	return c
 }
+
+// Busy returns the number of buses currently serving a request.
+// Exposed for invariant checks in tests.
+func (n *Network) Busy() int { return n.busy }

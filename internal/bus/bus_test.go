@@ -31,6 +31,7 @@ func TestConfigValidate(t *testing.T) {
 		mutate func(*Config)
 	}{
 		{"zero processors", func(c *Config) { c.Processors = 0 }},
+		{"negative buses", func(c *Config) { c.Buses = -1 }},
 		{"negative think rate", func(c *Config) { c.ThinkRate = -1 }},
 		{"NaN think rate", func(c *Config) { c.ThinkRate = math.NaN() }},
 		{"zero service rate", func(c *Config) { c.ServiceRate = 0 }},
@@ -204,6 +205,121 @@ func TestPerStationSourcesShapeTraffic(t *testing.T) {
 	// value above must not have frozen or crashed the run.
 	if m.Completions == 0 {
 		t.Fatal("no completions with per-station sources")
+	}
+}
+
+// Multi-bus invariants under saturation: the number of in-service
+// requests never exceeds the bus count, no processor is served by two
+// buses at once in unbuffered mode, and per-bus utilizations average to
+// the aggregate with the load skewed toward the lowest-numbered bus.
+func TestMultiBusInvariants(t *testing.T) {
+	const buses = 3
+	cfg := Config{
+		Processors: 8, ThinkRate: 2, ServiceRate: 1, // demand 16 on 3 buses
+		Mode: Unbuffered, Arbiter: NewRoundRobin(), Buses: buses,
+	}
+	n, eng := newTestNetwork(t, cfg, 7)
+	n.Start()
+	for step := 0; step < 300; step++ {
+		if err := eng.RunUntil(eng.Now() + 0.5); err != nil {
+			t.Fatal(err)
+		}
+		if b := n.Busy(); b < 0 || b > buses {
+			t.Fatalf("t=%v: %d busy buses outside [0, %d]", eng.Now(), b, buses)
+		}
+		for i := 0; i < cfg.Processors; i++ {
+			if c := n.Outstanding(i); c > 1 {
+				t.Fatalf("t=%v: processor %d has %d outstanding requests in unbuffered mode",
+					eng.Now(), i, c)
+			}
+		}
+	}
+	m := n.Snapshot()
+	if m.Completions == 0 {
+		t.Fatal("no completions under heavy load")
+	}
+	if len(m.BusUtilization) != buses {
+		t.Fatalf("per-bus utilization has %d entries, want %d", len(m.BusUtilization), buses)
+	}
+	sum := 0.0
+	for b, u := range m.BusUtilization {
+		if u <= 0 || u > 1 {
+			t.Fatalf("bus %d utilization %v outside (0, 1]", b, u)
+		}
+		sum += u
+	}
+	if math.Abs(sum/buses-m.Utilization) > 1e-9 {
+		t.Fatalf("mean per-bus utilization %v != aggregate %v", sum/buses, m.Utilization)
+	}
+	// Lowest-free-bus dispatch loads bus 0 at least as much as bus m-1.
+	if m.BusUtilization[0] < m.BusUtilization[buses-1] {
+		t.Fatalf("bus 0 utilization %v below bus %d's %v; lowest-free-bus skew lost",
+			m.BusUtilization[0], buses-1, m.BusUtilization[buses-1])
+	}
+}
+
+// Request conservation holds on a fabric too, and adding buses at a
+// fixed workload must strictly help: more completions, shorter waits.
+func TestMultiBusConservationAndSpeedup(t *testing.T) {
+	run := func(buses int) Metrics {
+		cfg := Config{
+			Processors: 16, ThinkRate: 0.3, ServiceRate: 1,
+			Mode: Buffered, BufferCap: Infinite, Arbiter: NewRoundRobin(), Buses: buses,
+		}
+		n, eng := newTestNetwork(t, cfg, 3)
+		n.Start()
+		if err := eng.RunUntil(5000); err != nil {
+			t.Fatal(err)
+		}
+		m := n.Snapshot()
+		inFlight := 0
+		for i := 0; i < cfg.Processors; i++ {
+			inFlight += n.Outstanding(i)
+		}
+		if m.Issued != m.Completions+uint64(inFlight) {
+			t.Fatalf("buses=%d: issued %d != completions %d + in-flight %d",
+				buses, m.Issued, m.Completions, inFlight)
+		}
+		return m
+	}
+	// Demand Nλ/μ = 4.8: one bus saturates, four do not, eight coast.
+	one, four, eight := run(1), run(4), run(8)
+	if !(four.Completions > one.Completions) {
+		t.Fatalf("4 buses completed %d ≤ 1 bus's %d under overload", four.Completions, one.Completions)
+	}
+	if !(four.MeanWait < one.MeanWait/4) {
+		t.Fatalf("4-bus wait %v not well below 1-bus wait %v", four.MeanWait, one.MeanWait)
+	}
+	if !(eight.MeanWait < four.MeanWait) {
+		t.Fatalf("8-bus wait %v not below 4-bus wait %v", eight.MeanWait, four.MeanWait)
+	}
+	if !(one.Utilization > 0.99) {
+		t.Fatalf("single bus not saturated at demand 4.8: U = %v", one.Utilization)
+	}
+	if eight.Utilization >= one.Utilization {
+		t.Fatalf("per-bus utilization did not fall with more buses: %v vs %v",
+			eight.Utilization, one.Utilization)
+	}
+}
+
+// Buses = 0 is the documented single-bus default: it must run the exact
+// same trajectory as an explicit Buses = 1.
+func TestZeroBusesMeansOne(t *testing.T) {
+	run := func(buses int) Metrics {
+		cfg := Config{
+			Processors: 8, ThinkRate: 0.2, ServiceRate: 1,
+			Mode: Unbuffered, Arbiter: NewRoundRobin(), Buses: buses,
+		}
+		n, eng := newTestNetwork(t, cfg, 11)
+		n.Start()
+		if err := eng.RunUntil(3000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Snapshot()
+	}
+	a, b := run(0), run(1)
+	if a.Completions != b.Completions || a.Utilization != b.Utilization || a.MeanWait != b.MeanWait {
+		t.Fatalf("Buses 0 and 1 diverged:\n%+v\nvs\n%+v", a, b)
 	}
 }
 

@@ -39,22 +39,26 @@ import (
 // [warmup, horizon]. Waiting time runs from a request's issue to its
 // service start (including any stall at a full interface); response time
 // additionally includes service. Queue length counts requests waiting at
-// the interfaces, excluding the one on the bus.
+// the interfaces, excluding those in service. Utilization is the
+// time-averaged fraction of busy buses (the plain busy fraction of the
+// single bus when Config.Buses is 1); BusUtilization breaks it down per
+// bus, skewed toward bus 0 by the lowest-free-bus dispatch.
 type Results struct {
-	Config       Config   `json:"config"`
-	MeasuredTime float64  `json:"measured_time"`
-	Events       uint64   `json:"events"`
-	Issued       uint64   `json:"issued"`
-	Completions  uint64   `json:"completions"`
-	Throughput   float64  `json:"throughput"`
-	Utilization  float64  `json:"utilization"`
-	MeanQueueLen float64  `json:"mean_queue_len"`
-	MaxQueueLen  float64  `json:"max_queue_len"`
-	MeanWait     float64  `json:"mean_wait"`
-	WaitStdDev   float64  `json:"wait_std_dev"`
-	MaxWait      float64  `json:"max_wait"`
-	MeanResponse float64  `json:"mean_response"`
-	Grants       []uint64 `json:"grants"`
+	Config         Config    `json:"config"`
+	MeasuredTime   float64   `json:"measured_time"`
+	Events         uint64    `json:"events"`
+	Issued         uint64    `json:"issued"`
+	Completions    uint64    `json:"completions"`
+	Throughput     float64   `json:"throughput"`
+	Utilization    float64   `json:"utilization"`
+	BusUtilization []float64 `json:"bus_utilization"`
+	MeanQueueLen   float64   `json:"mean_queue_len"`
+	MaxQueueLen    float64   `json:"max_queue_len"`
+	MeanWait       float64   `json:"mean_wait"`
+	WaitStdDev     float64   `json:"wait_std_dev"`
+	MaxWait        float64   `json:"max_wait"`
+	MeanResponse   float64   `json:"mean_response"`
+	Grants         []uint64  `json:"grants"`
 }
 
 // Prediction re-exports the analytic package's closed-form quantities so
@@ -128,32 +132,37 @@ func (n *Network) Run() (Results, error) {
 	}
 	m := model.Snapshot()
 	return Results{
-		Config:       n.cfg,
-		MeasuredTime: m.Elapsed,
-		Events:       eng.Processed() - warmupEvents,
-		Issued:       m.Issued,
-		Completions:  m.Completions,
-		Throughput:   m.Throughput,
-		Utilization:  m.Utilization,
-		MeanQueueLen: m.MeanQueueLen,
-		MaxQueueLen:  m.MaxQueueLen,
-		MeanWait:     m.MeanWait,
-		WaitStdDev:   m.WaitStdDev,
-		MaxWait:      m.MaxWait,
-		MeanResponse: m.MeanResponse,
-		Grants:       m.Grants,
+		Config:         n.cfg,
+		MeasuredTime:   m.Elapsed,
+		Events:         eng.Processed() - warmupEvents,
+		Issued:         m.Issued,
+		Completions:    m.Completions,
+		Throughput:     m.Throughput,
+		Utilization:    m.Utilization,
+		BusUtilization: m.BusUtilization,
+		MeanQueueLen:   m.MeanQueueLen,
+		MaxQueueLen:    m.MaxQueueLen,
+		MeanWait:       m.MeanWait,
+		WaitStdDev:     m.WaitStdDev,
+		MaxWait:        m.MaxWait,
+		MeanResponse:   m.MeanResponse,
+		Grants:         m.Grants,
 	}, nil
 }
 
 // Predict returns the closed-form steady-state prediction for cfg: the
 // exact machine-repairman model in unbuffered mode, M/M/1 for infinite
-// buffers, and the M/M/1/K approximation for finite buffers. It errors
-// when the config is invalid, when no steady state exists (infinite
-// buffers with offered load ≥ 1), or when the traffic shape is not
-// Poisson — the closed forms assume exponential think times, and
-// attaching them to bursty or deterministic runs would be a silently
-// wrong overlay. (Cross-checks for the other shapes are limiting cases:
-// MMPP2 with equal state rates is Poisson; see docs/traffic.md.)
+// buffers, and the M/M/1/K approximation for finite buffers; with
+// Buses > 1 the m-server generalizations — finite-source M/M/m//N,
+// Erlang-C M/M/m, and M/M/m/K respectively. It errors when the config
+// is invalid, when no steady state exists (infinite buffers with
+// offered load Nλ/(mμ) ≥ 1), or when the traffic shape is not Poisson —
+// the closed forms assume exponential think times, and attaching them
+// to bursty or deterministic runs would be a silently wrong overlay.
+// (Cross-checks for the other shapes are limiting cases: MMPP2 with
+// equal state rates is Poisson; see docs/traffic.md.) A single-bus
+// config always dispatches to the original single-server forms, so
+// m = 1 predictions are bit-identical to the pre-fabric ones.
 func Predict(cfg Config) (Prediction, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
@@ -163,11 +172,21 @@ func Predict(cfg Config) (Prediction, error) {
 		return Prediction{}, fmt.Errorf("busnet: no closed-form model for %s traffic", kind)
 	}
 	mode, _ := parseMode(cfg.Mode)
+	multi := cfg.Buses > 1
 	if mode == bus.Unbuffered {
+		if multi {
+			return analytic.MultiUnbuffered(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate)
+		}
 		return analytic.Unbuffered(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate), nil
 	}
 	if cfg.BufferCap == Infinite {
+		if multi {
+			return analytic.MultiBufferedInfinite(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate)
+		}
 		return analytic.BufferedInfinite(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate)
+	}
+	if multi {
+		return analytic.MultiBufferedFinite(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate, cfg.BufferCap)
 	}
 	return analytic.BufferedFinite(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate, cfg.BufferCap)
 }

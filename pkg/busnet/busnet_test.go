@@ -188,6 +188,7 @@ func TestNewRejectsInvalidOptions(t *testing.T) {
 		opts []Option
 	}{
 		{"zero processors", []Option{WithProcessors(0)}},
+		{"negative buses", []Option{WithBuses(-2)}},
 		{"negative think rate", []Option{WithThinkRate(-0.1)}},
 		{"zero service rate", []Option{WithServiceRate(0)}},
 		{"zero horizon", []Option{WithHorizon(0)}},
@@ -227,6 +228,16 @@ func TestConfigEchoAndDefaults(t *testing.T) {
 	cfg := net.Config()
 	if cfg.Processors != 16 || cfg.BufferCap != 4 || cfg.Seed != 42 {
 		t.Fatalf("config echo mismatch: %+v", cfg)
+	}
+	if cfg.Buses != 1 {
+		t.Fatalf("default buses = %d, want 1", cfg.Buses)
+	}
+	multi, err := New(WithBuses(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Config().Buses != 4 {
+		t.Fatalf("WithBuses(4) echoed %d", multi.Config().Buses)
 	}
 	if cfg.Mode != "buffered" || cfg.Arbiter != "round-robin" {
 		t.Fatalf("mode/arbiter = %q/%q, want buffered/round-robin", cfg.Mode, cfg.Arbiter)

@@ -42,7 +42,13 @@ const (
 // value and round-trips through JSON and CLI flags unchanged. Empty
 // weights mean all ones; other arbiters ignore the field.
 type Config struct {
-	Processors  int     `json:"processors"`
+	Processors int `json:"processors"`
+	// Buses is the number of identical parallel buses behind the single
+	// arbitration point, m ≥ 1. The default 1 is the paper's shared bus;
+	// 0 (e.g. a config predating the fabric, or a zero-ish literal)
+	// normalizes to 1, so every existing configuration keeps its exact
+	// single-bus behavior.
+	Buses       int     `json:"buses"`
 	ThinkRate   float64 `json:"think_rate"`
 	ServiceRate float64 `json:"service_rate"`
 	Mode        string  `json:"mode"`
@@ -119,13 +125,14 @@ func RareBurstMMPP2(mean, ratio, dwell, burstFrac float64) Traffic {
 }
 
 // DefaultConfig returns the same baseline the functional options start
-// from: 8 processors, λ=0.1, μ=1, unbuffered, Poisson traffic,
+// from: 8 processors, one bus, λ=0.1, μ=1, unbuffered, Poisson traffic,
 // round-robin, seed 1, horizon 100000 with a 10% warmup. Warmup is an
 // absolute time, not a fraction — when deriving configs with a different
 // horizon, use AtHorizon so the warmup rescales with it.
 func DefaultConfig() Config {
 	return Config{
 		Processors:  8,
+		Buses:       1,
 		ThinkRate:   0.1,
 		ServiceRate: 1.0,
 		Mode:        ModeUnbuffered,
@@ -209,14 +216,17 @@ func parseMode(s string) (bus.Mode, error) {
 	}
 }
 
-// normalized fills the empty-string Mode/Arbiter/Traffic.Kind defaults
-// so every Network echoes canonical names.
+// normalized fills the empty-string Mode/Arbiter/Traffic.Kind and
+// zero-Buses defaults so every Network echoes canonical names.
 func (c Config) normalized() Config {
 	if c.Mode == "" {
 		c.Mode = ModeUnbuffered
 	}
 	if c.Arbiter == "" {
 		c.Arbiter = RoundRobin.String()
+	}
+	if c.Buses == 0 {
+		c.Buses = 1
 	}
 	c.Traffic = c.Traffic.Normalized()
 	return c
@@ -279,6 +289,7 @@ func (c Config) busConfig() bus.Config {
 	kind, _ := ParseArbiter(c.Arbiter)
 	bc := bus.Config{
 		Processors:  c.Processors,
+		Buses:       c.Buses,
 		ThinkRate:   c.ThinkRate,
 		ServiceRate: c.ServiceRate,
 		Mode:        mode,

@@ -89,6 +89,145 @@ func TestSimulationMatchesAnalytic(t *testing.T) {
 	}
 }
 
+// Cross-validation of the multi-bus fabric against its m-server closed
+// forms — the same methodology as the single-bus checks above, at
+// several (N, λ, μ, m) operating points in both regimes. The unbuffered
+// M/M/m//N and Erlang-C M/M/m models are exact, so the tolerances
+// match the single-bus ones.
+func TestMultiBusSimulationMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon cross-validation")
+	}
+	tests := []struct {
+		name    string
+		opts    []Option
+		utilTol float64
+		waitTol float64
+	}{
+		// Unbuffered: exact finite-source M/M/m//N.
+		{"unbuffered/n16/m2", []Option{
+			WithProcessors(16), WithThinkRate(0.1), WithServiceRate(1),
+			WithBuses(2), WithUnbuffered()}, 0.02, 0.05},
+		{"unbuffered/n32/m4/heavy", []Option{
+			WithProcessors(32), WithThinkRate(0.1), WithServiceRate(1),
+			WithBuses(4), WithUnbuffered()}, 0.02, 0.05},
+		{"unbuffered/n48/m8/loaded", []Option{
+			WithProcessors(48), WithThinkRate(0.15), WithServiceRate(1),
+			WithBuses(8), WithUnbuffered()}, 0.02, 0.05},
+		{"unbuffered/n8/m3/mu2", []Option{
+			WithProcessors(8), WithThinkRate(0.4), WithServiceRate(2),
+			WithBuses(3), WithUnbuffered()}, 0.02, 0.05},
+		// Buffered, unbounded: exact Erlang-C M/M/m.
+		{"buffered/n16/m2/rho0.8", []Option{
+			WithProcessors(16), WithThinkRate(0.1), WithServiceRate(1),
+			WithBuses(2), WithBuffer(Infinite)}, 0.02, 0.10},
+		{"buffered/n16/m4/rho0.6", []Option{
+			WithProcessors(16), WithThinkRate(0.15), WithServiceRate(1),
+			WithBuses(4), WithBuffer(Infinite)}, 0.02, 0.10},
+		{"buffered/n32/m8/mu0.5/rho0.8", []Option{
+			WithProcessors(32), WithThinkRate(0.05), WithServiceRate(0.5),
+			WithBuses(8), WithBuffer(Infinite)}, 0.02, 0.10},
+		// Buffered, finite: M/M/m/K approximation, low-blocking regime.
+		{"buffered/n16/m2/cap4", []Option{
+			WithProcessors(16), WithThinkRate(0.09), WithServiceRate(1),
+			WithBuses(2), WithBuffer(4)}, 0.05, 0.15},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			opts := append([]Option{
+				WithSeed(42),
+				WithHorizon(400_000),
+				WithWarmupFraction(0.1),
+			}, tt.opts...)
+			net, err := New(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := net.Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := relErr(res.Utilization, pred.Utilization); e > tt.utilTol {
+				t.Errorf("utilization: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.Utilization, pred.Utilization, e, tt.utilTol)
+			}
+			if e := relErr(res.Throughput, pred.Throughput); e > tt.utilTol {
+				t.Errorf("throughput: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.Throughput, pred.Throughput, e, tt.utilTol)
+			}
+			if e := relErr(res.MeanWait, pred.MeanWait); e > tt.waitTol {
+				t.Errorf("mean wait: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.MeanWait, pred.MeanWait, e, tt.waitTol)
+			}
+			if e := relErr(res.MeanQueueLen, pred.MeanQueueLen); e > tt.waitTol {
+				t.Errorf("queue length: sim %.4f vs analytic %.4f (rel err %.3f > %.3f)",
+					res.MeanQueueLen, pred.MeanQueueLen, e, tt.waitTol)
+			}
+			// The per-bus breakdown must be consistent with the aggregate:
+			// one entry per bus averaging to the reported utilization.
+			m := net.Config().Buses
+			if len(res.BusUtilization) != m {
+				t.Fatalf("BusUtilization has %d entries, want %d", len(res.BusUtilization), m)
+			}
+			sum := 0.0
+			for _, u := range res.BusUtilization {
+				sum += u
+			}
+			if e := relErr(sum/float64(m), res.Utilization); e > 1e-9 {
+				t.Errorf("mean per-bus utilization %.6f != aggregate %.6f", sum/float64(m), res.Utilization)
+			}
+		})
+	}
+}
+
+// The fabric's qualitative headline, simulated end to end: at a fixed
+// workload that saturates one bus, each doubling of the fabric raises
+// throughput and cuts the wait, and Predict's m-server overlay tracks
+// the whole curve.
+func TestMoreBusesRelieveContention(t *testing.T) {
+	run := func(m int) Results {
+		res, err := mustRun(t,
+			WithProcessors(32),
+			WithThinkRate(0.1),
+			WithServiceRate(1),
+			WithUnbuffered(),
+			WithBuses(m),
+			WithSeed(42),
+			WithHorizon(100_000),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prev := run(1)
+	for _, m := range []int{2, 4, 8} {
+		res := run(m)
+		if !(res.Throughput > prev.Throughput) {
+			t.Errorf("m=%d throughput %.4f not above m=%d's %.4f", m, res.Throughput, m/2, prev.Throughput)
+		}
+		if !(res.MeanWait < prev.MeanWait) {
+			t.Errorf("m=%d wait %.4f not below m=%d's %.4f", m, res.MeanWait, m/2, prev.MeanWait)
+		}
+		prev = res
+	}
+}
+
+// Predict keeps refusing to overlay the Poisson closed forms on
+// non-Poisson traffic on a fabric too.
+func TestMultiBusPredictRejectsNonPoisson(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Buses = 4
+	cfg.Traffic = DeterministicTraffic()
+	if _, err := Predict(cfg); err == nil {
+		t.Fatal("Predict attached an m-server Poisson closed form to deterministic traffic")
+	}
+}
+
 // Acceptance criterion for the workload subsystem: MMPP2 with equal
 // rates in both states is statistically Poisson, so its simulation must
 // match the Poisson closed forms within the cross-check tolerances used

@@ -65,6 +65,12 @@ type Option func(*builder)
 // WithProcessors sets the number of processors N on the bus.
 func WithProcessors(n int) Option { return func(b *builder) { b.cfg.Processors = n } }
 
+// WithBuses sets the number of identical parallel buses m behind the
+// arbitration point. The default 1 is the paper's single shared bus;
+// larger fabrics grant each waiting request to the lowest-numbered free
+// bus, all serving independently at the service rate.
+func WithBuses(m int) Option { return func(b *builder) { b.cfg.Buses = m } }
+
 // WithThinkRate sets λ, the rate at which each thinking processor
 // generates bus requests (mean think time 1/λ).
 func WithThinkRate(lambda float64) Option { return func(b *builder) { b.cfg.ThinkRate = lambda } }

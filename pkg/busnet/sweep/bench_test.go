@@ -41,6 +41,29 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiBus measures the multi-bus fabric path end to end: the
+// multibus-unbuffered curve's grid (N=32 at demand 3.2, m ∈ {1, 2, 4, 8})
+// with 2 replications per point. Against BenchmarkSweepParallel this
+// isolates what the fabric adds per event — the free-bus scan, per-bus
+// collectors, and the multi-grant dispatch loop; BENCH_baseline.txt
+// gates it alongside the other sweeps.
+func BenchmarkMultiBus(b *testing.B) {
+	base := busnet.DefaultConfig().AtHorizon(20_000)
+	base.Seed = 42
+	base.Processors = 32
+	base.ThinkRate = 0.1
+	spec := Spec{
+		Grid:         Grid{Base: base, Buses: []int{1, 2, 4, 8}},
+		Replications: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBurstySweep measures the bursty-traffic path end to end: a
 // 6-point mean-preserving MMPP2 burstiness curve at N=16 with 2
 // replications per point. Against BenchmarkSweepParallel this isolates

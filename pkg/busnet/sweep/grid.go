@@ -14,10 +14,13 @@ import (
 // axis sweeps whole traffic shapes — each entry is a complete
 // busnet.Traffic spec, so a burstiness curve is a list of MMPP2/OnOff
 // specs at increasing burstiness (typically mean-rate matched); Weights
-// sweeps weighted-round-robin weight vectors in Config.Weights form.
+// sweeps weighted-round-robin weight vectors in Config.Weights form;
+// Buses sweeps the fabric width m (so a speedup-vs-bus-count curve is a
+// grid over Buses at a fixed workload).
 type Grid struct {
 	Base         busnet.Config    `json:"base"`
 	Processors   []int            `json:"processors,omitempty"`
+	Buses        []int            `json:"buses,omitempty"`
 	ThinkRates   []float64        `json:"think_rates,omitempty"`
 	ServiceRates []float64        `json:"service_rates,omitempty"`
 	Modes        []string         `json:"modes,omitempty"`
@@ -37,33 +40,36 @@ func axis[T any](vals []T, base T) []T {
 }
 
 // Points expands the grid into validated configs in a fixed order —
-// processors outermost, then think rate, service rate, mode, buffer
-// capacity, arbiter, weights, and traffic innermost — so equal grids
-// always enumerate equal point sequences. Every point inherits the
-// base's Seed, Stream, Horizon, and Warmup.
+// processors outermost, then buses, think rate, service rate, mode,
+// buffer capacity, arbiter, weights, and traffic innermost — so equal
+// grids always enumerate equal point sequences. Every point inherits
+// the base's Seed, Stream, Horizon, and Warmup.
 func (g Grid) Points() ([]busnet.Config, error) {
 	var points []busnet.Config
 	for _, n := range axis(g.Processors, g.Base.Processors) {
-		for _, lambda := range axis(g.ThinkRates, g.Base.ThinkRate) {
-			for _, mu := range axis(g.ServiceRates, g.Base.ServiceRate) {
-				for _, mode := range axis(g.Modes, g.Base.Mode) {
-					for _, capacity := range axis(g.BufferCaps, g.Base.BufferCap) {
-						for _, arb := range axis(g.Arbiters, g.Base.Arbiter) {
-							for _, weights := range axis(g.Weights, g.Base.Weights) {
-								for _, traffic := range axis(g.Traffics, g.Base.Traffic) {
-									cfg := g.Base
-									cfg.Processors = n
-									cfg.ThinkRate = lambda
-									cfg.ServiceRate = mu
-									cfg.Mode = mode
-									cfg.BufferCap = capacity
-									cfg.Arbiter = arb
-									cfg.Weights = weights
-									cfg.Traffic = traffic
-									if err := cfg.Validate(); err != nil {
-										return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+		for _, m := range axis(g.Buses, g.Base.Buses) {
+			for _, lambda := range axis(g.ThinkRates, g.Base.ThinkRate) {
+				for _, mu := range axis(g.ServiceRates, g.Base.ServiceRate) {
+					for _, mode := range axis(g.Modes, g.Base.Mode) {
+						for _, capacity := range axis(g.BufferCaps, g.Base.BufferCap) {
+							for _, arb := range axis(g.Arbiters, g.Base.Arbiter) {
+								for _, weights := range axis(g.Weights, g.Base.Weights) {
+									for _, traffic := range axis(g.Traffics, g.Base.Traffic) {
+										cfg := g.Base
+										cfg.Processors = n
+										cfg.Buses = m
+										cfg.ThinkRate = lambda
+										cfg.ServiceRate = mu
+										cfg.Mode = mode
+										cfg.BufferCap = capacity
+										cfg.Arbiter = arb
+										cfg.Weights = weights
+										cfg.Traffic = traffic
+										if err := cfg.Validate(); err != nil {
+											return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+										}
+										points = append(points, cfg)
 									}
-									points = append(points, cfg)
 								}
 							}
 						}

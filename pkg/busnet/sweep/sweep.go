@@ -54,8 +54,12 @@ type PointResult struct {
 	// Grants is the per-processor bus-grant count summed across the
 	// point's replications; its skew is the fairness/starvation signal
 	// arbiter comparisons read.
-	Grants []uint64         `json:"grants"`
-	Runs   []busnet.Results `json:"runs,omitempty"`
+	Grants []uint64 `json:"grants"`
+	// BusUtilization is each bus's busy fraction averaged across the
+	// point's replications (one entry per bus, skewed toward bus 0 by
+	// the lowest-free-bus dispatch); its mean is Utilization's.
+	BusUtilization []float64        `json:"bus_utilization"`
+	Runs           []busnet.Results `json:"runs,omitempty"`
 }
 
 // Result is a completed sweep. Points appear in Grid.Points order.
@@ -156,6 +160,15 @@ func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
 		MeanQueueLen: pick(func(r busnet.Results) float64 { return r.MeanQueueLen }),
 		MeanResponse: pick(func(r busnet.Results) float64 { return r.MeanResponse }),
 		Grants:       make([]uint64, len(runs[0].Grants)),
+		BusUtilization: func() []float64 {
+			bu := make([]float64, len(runs[0].BusUtilization))
+			for _, r := range runs {
+				for b, u := range r.BusUtilization {
+					bu[b] += u / float64(len(runs))
+				}
+			}
+			return bu
+		}(),
 	}
 	for _, r := range runs {
 		for i, g := range r.Grants {

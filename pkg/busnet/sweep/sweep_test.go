@@ -124,6 +124,64 @@ func TestBurstyPointsOmitAnalytic(t *testing.T) {
 	}
 }
 
+// The buses axis expands between processors and think rate, each point
+// carries its fabric width, and the reduction averages the per-bus
+// utilizations into one entry per bus.
+func TestGridBusesAxis(t *testing.T) {
+	g := Grid{
+		Base:       testBase(),
+		Processors: []int{8, 16},
+		Buses:      []int{1, 2, 4},
+	}
+	points, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*3 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	// Buses varies inside processors: {8,1},{8,2},{8,4},{16,1},…
+	if points[0].Buses != 1 || points[1].Buses != 2 || points[2].Buses != 4 {
+		t.Fatalf("buses not the second-outermost axis: %d,%d,%d",
+			points[0].Buses, points[1].Buses, points[2].Buses)
+	}
+	if points[0].Processors != 8 || points[3].Processors != 16 || points[3].Buses != 1 {
+		t.Fatalf("processors not outermost of buses: %+v", points[3])
+	}
+	res, err := Run(Spec{
+		Grid:         Grid{Base: testBase(), Buses: []int{1, 2}},
+		Replications: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		if len(pt.BusUtilization) != pt.Config.Buses {
+			t.Fatalf("buses=%d point has %d per-bus utilizations",
+				pt.Config.Buses, len(pt.BusUtilization))
+		}
+		sum := 0.0
+		for _, u := range pt.BusUtilization {
+			sum += u
+		}
+		if mean := sum / float64(pt.Config.Buses); math.Abs(mean-pt.Utilization.Mean) > 1e-9 {
+			t.Fatalf("buses=%d: mean per-bus utilization %v != aggregate mean %v",
+				pt.Config.Buses, mean, pt.Utilization.Mean)
+		}
+		if pt.Analytic == nil {
+			t.Fatalf("buses=%d point missing its m-server analytic overlay", pt.Config.Buses)
+		}
+	}
+	if !(res.Points[1].MeanWait.Mean < res.Points[0].MeanWait.Mean) {
+		t.Fatalf("two buses did not cut the wait: %v vs %v",
+			res.Points[1].MeanWait.Mean, res.Points[0].MeanWait.Mean)
+	}
+	// An invalid fabric width aborts expansion like any other axis.
+	if _, err := (Grid{Base: testBase(), Buses: []int{2, -1}}).Points(); err == nil {
+		t.Fatal("grid with a negative bus count expanded without error")
+	}
+}
+
 func TestGridEmptyAxesUseBase(t *testing.T) {
 	points, err := Grid{Base: testBase()}.Points()
 	if err != nil {
