@@ -13,7 +13,8 @@ import (
 // steady state exists).
 var csvHeader = []string{
 	"scenario", "curve", "point",
-	"processors", "buses", "think_rate", "service_rate", "mode", "buffer_cap", "arbiter",
+	"processors", "buses", "think_rate", "service_rate", "service", "service_detail",
+	"mode", "buffer_cap", "arbiter",
 	"weights", "traffic", "traffic_detail", "mean_think_rate",
 	"seed", "horizon", "warmup", "replications",
 	"util_mean", "util_ci95",
@@ -21,12 +22,16 @@ var csvHeader = []string{
 	"wait_mean", "wait_ci95",
 	"qlen_mean", "qlen_ci95",
 	"response_mean", "response_ci95",
+	"wait_p50", "wait_p95", "wait_p99",
+	"response_p50", "response_p95", "response_p99",
 	"analytic_util", "analytic_throughput", "analytic_wait", "analytic_qlen", "analytic_response",
 }
 
 // writeCSV flattens a report to CSV. Floats are rendered with
 // strconv's shortest round-trip formatting, so CSV output is as
-// deterministic as the JSON report.
+// deterministic as the JSON report. An undefined confidence interval
+// (single replication) renders as an empty ci95 cell, never a
+// meaningless 0.
 func writeCSV(w io.Writer, report Report) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -34,12 +39,18 @@ func writeCSV(w io.Writer, report Report) error {
 	}
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 	i := strconv.Itoa
-	stat := func(s sweep.Stat) []string { return []string{f(s.Mean), f(s.CI95)} }
+	stat := func(s sweep.Stat) []string {
+		if s.CIUndefined {
+			return []string{f(s.Mean), ""}
+		}
+		return []string{f(s.Mean), f(s.CI95)}
+	}
 	for _, curve := range report.Curves {
 		for p, pt := range curve.Result.Points {
 			row := []string{
 				report.Scenario, curve.Name, i(p),
 				i(pt.Config.Processors), i(pt.Config.Buses), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
+				pt.Config.Service.Kind, pt.Config.Service.Detail(),
 				pt.Config.Mode, i(pt.Config.BufferCap), pt.Config.Arbiter,
 				pt.Config.Weights, pt.Config.Traffic.Kind, pt.Config.Traffic.Detail(),
 				f(pt.Config.MeanThinkRate()),
@@ -51,6 +62,9 @@ func writeCSV(w io.Writer, report Report) error {
 			row = append(row, stat(pt.MeanWait)...)
 			row = append(row, stat(pt.MeanQueueLen)...)
 			row = append(row, stat(pt.MeanResponse)...)
+			row = append(row,
+				f(pt.WaitQuantiles.P50), f(pt.WaitQuantiles.P95), f(pt.WaitQuantiles.P99),
+				f(pt.ResponseQuantiles.P50), f(pt.ResponseQuantiles.P95), f(pt.ResponseQuantiles.P99))
 			if a := pt.Analytic; a != nil {
 				row = append(row, f(a.Utilization), f(a.Throughput), f(a.MeanWait),
 					f(a.MeanQueueLen), f(a.MeanResponse))

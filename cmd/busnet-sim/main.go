@@ -70,6 +70,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !(*horizon > 0) || math.IsInf(*horizon, 1) {
 		return fmt.Errorf("-horizon = %v, need finite and > 0", *horizon)
 	}
+	// Symmetric with -replications/-horizon: a negative worker count is
+	// not "use all CPUs", it is a typo — reject it up front instead of
+	// silently degrading to the default pool size deep in the sweep.
+	if *workers < 0 {
+		return fmt.Errorf("-workers = %d, need ≥ 0 (0 = all CPUs)", *workers)
+	}
 	sc, ok := registry[*name]
 	if !ok {
 		return fmt.Errorf("unknown scenario %q; use -list to see the registry", *name)

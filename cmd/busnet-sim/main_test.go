@@ -486,3 +486,135 @@ func TestScenarioOutputDeterministic(t *testing.T) {
 		t.Fatal("same seed produced different scenario output")
 	}
 }
+
+// A negative worker count is a typo, not "use all CPUs": it must be
+// rejected up front with the same error style as -replications and
+// -horizon, before any simulation runs.
+func TestInvalidWorkersRejected(t *testing.T) {
+	for _, workers := range []string{"-1", "-8"} {
+		var out, errOut bytes.Buffer
+		args := []string{"-scenario", "finite-buffer", "-workers", workers}
+		err := run(args, &out, &errOut)
+		if err == nil {
+			t.Fatalf("-workers=%s accepted; want a validation error", workers)
+		}
+		if !strings.Contains(err.Error(), "workers") {
+			t.Fatalf("-workers=%s error %q does not name the flag", workers, err)
+		}
+		if out.Len() != 0 {
+			t.Fatalf("-workers=%s produced output alongside the error", workers)
+		}
+	}
+	// Zero stays the documented "all CPUs" default.
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "finite-buffer", "-workers", "0", "-horizon", "1200", "-replications", "2"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("-workers=0 rejected: %v", err)
+	}
+}
+
+// The service-curves scenario: every point carries its service shape and
+// detail as CSV provenance, the tail-quantile columns are populated and
+// ordered, the analytic P-K overlay is present on every point, and the
+// deterministic curve waits less than the hyperexponential one at equal
+// load.
+func TestServiceCurvesShapeAndQuantiles(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "service-curves", "-horizon", "2500", "-replications", "3", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	curve := col(t, header, "curve")
+	service := col(t, header, "service")
+	detail := col(t, header, "service_detail")
+	waitMean := col(t, header, "wait_mean")
+	p50 := col(t, header, "wait_p50")
+	p95 := col(t, header, "wait_p95")
+	p99 := col(t, header, "wait_p99")
+	rp99 := col(t, header, "response_p99")
+	analytic := col(t, header, "analytic_wait")
+	parse := func(row []string, get func([]string) string) float64 {
+		v, err := strconv.ParseFloat(get(row), 64)
+		if err != nil {
+			t.Fatalf("non-numeric value %q in row %v", get(row), row[:3])
+		}
+		return v
+	}
+	shapes := map[string]float64{} // service-shapes curve: kind+detail → mean wait
+	seenKinds := map[string]bool{}
+	for _, row := range rows[1:] {
+		seenKinds[service(row)] = true
+		if analytic(row) == "" {
+			t.Errorf("curve %s service %s: missing P-K overlay", curve(row), service(row))
+		}
+		q50, q95, q99 := parse(row, p50), parse(row, p95), parse(row, p99)
+		if !(q50 <= q95 && q95 <= q99) {
+			t.Errorf("quantile columns not monotone: %v ≤ %v ≤ %v", q50, q95, q99)
+		}
+		if parse(row, rp99) < q99 {
+			t.Errorf("response p99 %v below wait p99 %v", parse(row, rp99), q99)
+		}
+		if curve(row) == "service-shapes" {
+			shapes[service(row)+detail(row)] = parse(row, waitMean)
+		}
+		if service(row) == "erlang" && detail(row) != "shape=4" {
+			t.Errorf("erlang service_detail = %q, want shape=4", detail(row))
+		}
+	}
+	for _, kind := range []string{"deterministic", "erlang", "exponential", "hyperexp"} {
+		if !seenKinds[kind] {
+			t.Errorf("scenario never ran %s service", kind)
+		}
+	}
+	// P-K ordering of the mean waits at equal load, end to end through
+	// the CLI: D < E4 < M < H2(4).
+	d, e4, m, h2 := shapes["deterministic"], shapes["erlangshape=4"], shapes["exponential"], shapes["hyperexpscv=4"]
+	if !(d < e4 && e4 < m && m < h2) {
+		t.Errorf("mean waits not P-K ordered: D=%v E4=%v M=%v H2=%v", d, e4, m, h2)
+	}
+}
+
+// Single-replication CSV: the mean columns stay populated while every
+// ci95 cell goes empty — the file-format face of the ci_undefined
+// marker.
+func TestSingleReplicationCSVEmptiesCICells(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "finite-buffer", "-horizon", "1200", "-replications", "1", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	for _, row := range rows[1:] {
+		for _, name := range []string{"util", "throughput", "wait", "qlen", "response"} {
+			mean := col(t, header, name+"_mean")(row)
+			ci := col(t, header, name+"_ci95")(row)
+			if mean == "" {
+				t.Errorf("%s_mean empty with one replication", name)
+			}
+			if v, err := strconv.ParseFloat(mean, 64); err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s_mean = %q not a finite number", name, mean)
+			}
+			if ci != "" {
+				t.Errorf("%s_ci95 = %q with one replication, want empty (CI undefined)", name, ci)
+			}
+		}
+	}
+	// JSON face of the same run: the marker rides along.
+	var jsonOut bytes.Buffer
+	args = []string{"-scenario", "finite-buffer", "-horizon", "1200", "-replications", "1"}
+	if err := run(args, &jsonOut, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut.String(), `"ci_undefined": true`) {
+		t.Error("JSON report missing ci_undefined marker for a single replication")
+	}
+}

@@ -291,6 +291,80 @@ var (
 	}
 )
 
+// Service-distribution curves: the holding-time axis the paper's
+// exponential-service assumption hides. All three run buffered with
+// unbounded queues at a fixed offered load, so arrivals stay Poisson at
+// Nλ and every curve is an exact M/G/1 system — the regime where the
+// Pollaczek–Khinchine overlay applies and the wait splits cleanly into
+// load (fixed) times variability (the swept knob).
+const (
+	serviceProcessors = 16
+	serviceRho        = 0.8 // offered load Nλ/μ: high enough that shape differences bite
+)
+
+// serviceBase is the shared operating point of the service curves:
+// N=16 buffered-infinite at ρ=0.8, Poisson arrivals, μ=1.
+func serviceBase(p Params) busnet.Config {
+	base := p.base()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	base.Processors = serviceProcessors
+	base.ThinkRate = serviceRho / float64(serviceProcessors)
+	return base
+}
+
+var (
+	curveServiceShapes = Curve{
+		Name:   "service-shapes",
+		Figure: "wait and tail quantiles vs service-time shape, fixed offered load",
+		Description: "M/G/1 at N=16, ρ=0.8: deterministic, Erlang-4, exponential, and " +
+			"hyperexponential (SCV 4) service at equal mean — P-K orders the mean waits " +
+			"by (1+c²)/2 while p99 spreads far faster than the mean",
+		grid: func(p Params) sweep.Grid {
+			return sweep.Grid{
+				Base: serviceBase(p),
+				Services: []busnet.Service{
+					busnet.DeterministicService(),
+					busnet.ErlangService(4),
+					busnet.ExponentialService(),
+					busnet.HyperexpService(4),
+				},
+			}
+		},
+	}
+	curveMD1VsLoad = Curve{
+		Name:   "md1-vs-load",
+		Figure: "mean wait vs offered load, deterministic service",
+		Description: "Exact M/D/1 at N=16: fixed-width bus transfers swept over ρ = 0.1…0.9 " +
+			"with the Pollaczek–Khinchine overlay — half the M/M/1 wait at every load",
+		grid: func(p Params) sweep.Grid {
+			base := serviceBase(p)
+			base.Service = busnet.DeterministicService()
+			rates := make([]float64, 0, 9)
+			for i := 1; i <= 9; i++ {
+				rho := float64(i) / 10
+				rates = append(rates, rho/float64(serviceProcessors))
+			}
+			return sweep.Grid{Base: base, ThinkRates: rates}
+		},
+	}
+	curveHyperexpSCV = Curve{
+		Name:   "hyperexp-scv",
+		Figure: "wait and tail quantiles vs service-time variability, fixed offered load",
+		Description: "M/H2/1 at N=16, ρ=0.8: hyperexponential service with SCV swept 1…16 " +
+			"(SCV 1 is statistically exponential) — mean wait grows linearly in (1+c²)/2, " +
+			"the tail quantiles faster",
+		grid: func(p Params) sweep.Grid {
+			scvs := []float64{1, 2, 4, 8, 16}
+			services := make([]busnet.Service, 0, len(scvs))
+			for _, c2 := range scvs {
+				services = append(services, busnet.HyperexpService(c2))
+			}
+			return sweep.Grid{Base: serviceBase(p), Services: services}
+		},
+	}
+)
+
 // single wraps one curve as its own scenario, keeping the registry key,
 // scenario name, and curve name in lockstep.
 func single(c Curve) Scenario {
@@ -342,6 +416,16 @@ var registry = map[string]Scenario{
 	"multibus-unbuffered": single(curveMultiBusUnbuffered),
 	"multibus-buffered":   single(curveMultiBusBuffered),
 	"buffering-vs-buses":  single(curveBufferingVsBuses),
+	"service-curves": {
+		Name: "service-curves",
+		Description: "Service-time shape sensitivity at fixed offered load (ρ=0.8, N=16): " +
+			"the four shapes side by side, exact M/D/1 vs load, and the hyperexponential " +
+			"SCV sweep — all with Pollaczek–Khinchine overlays and p50/p95/p99 tails",
+		Curves: []Curve{curveServiceShapes, curveMD1VsLoad, curveHyperexpSCV},
+	},
+	"service-shapes": single(curveServiceShapes),
+	"md1-vs-load":    single(curveMD1VsLoad),
+	"hyperexp-scv":   single(curveHyperexpSCV),
 	"weighted-arbiter": single(Curve{
 		Name:   "weighted-arbiter",
 		Figure: "weighted round-robin grant shares under saturation",

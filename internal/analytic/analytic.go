@@ -148,6 +148,51 @@ func BufferedFinite(n int, lambda, mu float64, capacity int) (Prediction, error)
 	}, nil
 }
 
+// MG1BufferedInfinite models the buffered regime with unbounded
+// interface queues and a general service-time distribution as an open
+// M/G/1 queue: processors never block, so requests arrive Poisson at
+// aggregate rate Nλ and are served at rate μ with squared coefficient
+// of variation scv = Var[S]/E[S]². The mean wait is the exact
+// Pollaczek–Khinchine formula
+//
+//	Wq = λ·E[S²]/(2(1−ρ)) = ρ·(1+c²)/2 / (μ−Nλ),
+//
+// and the remaining quantities follow from Little's law. scv = 1
+// reproduces BufferedInfinite's M/M/1 mean wait bit for bit ((1+1)/2 is
+// exactly 1) and the other fields up to rounding; scv = 0 is the exact
+// M/D/1 mean wait; Erlang-k and hyperexponential service plug in 1/k
+// and c² ≥ 1 respectively. It
+// errors when the offered load Nλ/μ ≥ 1, where no steady state exists,
+// or when scv is not a finite nonnegative number.
+func MG1BufferedInfinite(n int, lambda, mu, scv float64) (Prediction, error) {
+	if math.IsNaN(scv) || scv < 0 || math.IsInf(scv, 1) {
+		return Prediction{}, fmt.Errorf("analytic: service scv = %v, need finite and ≥ 0", scv)
+	}
+	lam := float64(n) * lambda
+	rho := lam / mu
+	if rho >= 1 {
+		return Prediction{}, fmt.Errorf(
+			"analytic: offered load Nλ/μ = %.3f ≥ 1, infinite-buffer system is unstable", rho)
+	}
+	wq := rho * (1 + scv) / 2 / (mu - lam)
+	return Prediction{
+		Utilization:  rho,
+		Throughput:   lam,
+		MeanWait:     wq,
+		MeanResponse: wq + 1/mu,
+		MeanQueueLen: lam * wq, // Little's law on the waiting room
+	}, nil
+}
+
+// MD1BufferedInfinite is the exact M/D/1 reference — deterministic
+// (fixed-width) bus transactions of duration 1/μ under Poisson arrivals
+// at aggregate rate Nλ. It is Pollaczek–Khinchine at scv = 0: the wait
+// is exactly half the M/M/1 wait at every load, the classical
+// variability dividend of fixed-size transfers.
+func MD1BufferedInfinite(n int, lambda, mu float64) (Prediction, error) {
+	return MG1BufferedInfinite(n, lambda, mu, 0)
+}
+
 // MultiUnbuffered is the exact finite-source M/M/m//N ("machine
 // repairman with m repairmen") model of the unbuffered regime on a
 // fabric of m identical buses: each of the N processors thinks for an

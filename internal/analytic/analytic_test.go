@@ -386,3 +386,95 @@ func TestMultiBufferedFinite(t *testing.T) {
 		t.Fatalf("saturated X = %v, want mμU = %v", deep.Throughput, 4*0.0625*deep.Utilization)
 	}
 }
+
+// The M/G/1 Pollaczek–Khinchine form must degenerate to the M/M/1 model
+// exactly at scv = 1: same utilization, throughput, and a bit-identical
+// mean wait (the (1+1)/2 factor is exactly 1).
+func TestMG1DegeneratesToMM1(t *testing.T) {
+	for _, p := range []struct {
+		n      int
+		lambda float64
+		mu     float64
+	}{{16, 0.05, 1}, {8, 0.075, 1}, {4, 0.1, 2}} {
+		mm1, err := BufferedInfinite(p.n, p.lambda, p.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg1, err := MG1BufferedInfinite(p.n, p.lambda, p.mu, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mg1.MeanWait != mm1.MeanWait {
+			t.Errorf("N=%d: M/G/1(scv=1) wait %v not bit-identical to M/M/1's %v",
+				p.n, mg1.MeanWait, mm1.MeanWait)
+		}
+		if mg1.Utilization != mm1.Utilization || mg1.Throughput != mm1.Throughput {
+			t.Errorf("N=%d: utilization/throughput diverged: %+v vs %+v", p.n, mg1, mm1)
+		}
+		if !close(mg1.MeanResponse, mm1.MeanResponse, 1e-12) ||
+			!close(mg1.MeanQueueLen, mm1.MeanQueueLen, 1e-12) {
+			t.Errorf("N=%d: response/queue diverged: %+v vs %+v", p.n, mg1, mm1)
+		}
+	}
+}
+
+// M/D/1 textbook values: Wq = ρ/(2μ(1−ρ)) — exactly half the M/M/1 wait
+// at every load.
+func TestMD1TextbookValues(t *testing.T) {
+	// ρ = 0.8, μ = 1: Wq = 0.8/(2·0.2) = 2, response 3, Lq = 1.6.
+	md1, err := MD1BufferedInfinite(16, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(md1.MeanWait, 2, 1e-12) {
+		t.Errorf("M/D/1 ρ=0.8 wait = %v, want 2", md1.MeanWait)
+	}
+	if !close(md1.MeanResponse, 3, 1e-12) {
+		t.Errorf("M/D/1 ρ=0.8 response = %v, want 3", md1.MeanResponse)
+	}
+	if !close(md1.MeanQueueLen, 1.6, 1e-12) {
+		t.Errorf("M/D/1 ρ=0.8 Lq = %v, want 1.6", md1.MeanQueueLen)
+	}
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		mm1, err := BufferedInfinite(10, rho/10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md1, err := MD1BufferedInfinite(10, rho/10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(md1.MeanWait, mm1.MeanWait/2, 1e-12) {
+			t.Errorf("ρ=%v: M/D/1 wait %v != half of M/M/1's %v", rho, md1.MeanWait, mm1.MeanWait)
+		}
+	}
+}
+
+// P-K mean wait is linear in (1+c²)/2 at fixed load, and the form must
+// reject instability and malformed scv inputs cleanly.
+func TestMG1ScalesWithSCVAndRejectsBadInputs(t *testing.T) {
+	base, err := MG1BufferedInfinite(16, 0.05, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scv := range []float64{1, 4, 16} {
+		p, err := MG1BufferedInfinite(16, 0.05, 1, scv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(p.MeanWait, base.MeanWait*(1+scv), 1e-12) {
+			t.Errorf("scv=%v: wait %v, want (1+c²)·W_D = %v", scv, p.MeanWait, base.MeanWait*(1+scv))
+		}
+	}
+	if _, err := MG1BufferedInfinite(16, 0.0625, 1, 1); err == nil {
+		t.Error("ρ = 1 accepted; no steady state exists")
+	}
+	if _, err := MG1BufferedInfinite(16, 0.1, 1, 1); err == nil {
+		t.Error("ρ = 1.6 accepted; no steady state exists")
+	}
+	for _, scv := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := MG1BufferedInfinite(16, 0.01, 1, scv); err == nil {
+			t.Errorf("scv = %v accepted", scv)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/busnet/busnet/internal/servdist"
 	"github.com/busnet/busnet/internal/sim"
 	"github.com/busnet/busnet/internal/workload"
 )
@@ -69,6 +70,13 @@ type Config struct {
 	// draw sequence as before the subsystem existed. When set, ThinkRate
 	// is not consulted (the sources own their rates).
 	Sources []workload.Source
+	// Service optionally shapes the bus service time, sampled once per
+	// dispatch on whichever bus serves the request. Nil keeps the paper's
+	// model — exponential service at ServiceRate — with the exact same
+	// draw sequence as before the subsystem existed. Non-nil dists are
+	// expected to have mean 1/ServiceRate (servdist builds them that way)
+	// so ServiceRate remains the load knob and the dist only the shape.
+	Service servdist.Dist
 }
 
 // buses resolves the configured bus count: 0 means the single-bus
@@ -123,6 +131,7 @@ type Network struct {
 	rng     *sim.RNG
 	nBuses  int               // resolved cfg.buses()
 	sources []workload.Source // per-processor think-time generators
+	service servdist.Dist     // bus service-time generator, shared by all buses
 
 	queues  [][]float64 // per-processor FIFO of issue times awaiting a bus
 	pending []bool      // queues[i] is nonempty
@@ -141,6 +150,8 @@ type Network struct {
 	qlen        sim.TimeWeighted   // total waiting requests, excluding those in service
 	wait        sim.Tally          // issue → service start
 	resp        sim.Tally          // issue → completion
+	waitHist    sim.Histogram      // wait distribution (quantiles), merged across replications upstream
+	respHist    sim.Histogram      // response distribution (quantiles)
 	issued      uint64
 	completions uint64
 	grants      []uint64 // bus grants per processor, for fairness analysis
@@ -177,6 +188,17 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 			}
 			n.sources[i] = src
 		}
+	}
+	n.service = cfg.Service
+	if n.service == nil {
+		// The paper's default: exponential service at ServiceRate, with the
+		// exact draw sequence of the pre-servdist engine (one Exp variate
+		// per dispatch). Validate guaranteed the rate.
+		d, err := servdist.Spec{}.NewDist(cfg.ServiceRate)
+		if err != nil {
+			return nil, err
+		}
+		n.service = d
 	}
 	for i := range n.stalled {
 		n.stalled[i] = math.NaN()
@@ -266,6 +288,7 @@ func (n *Network) tryDispatch() {
 		n.qlen.Set(float64(n.queued), now)
 		n.grants[j]++
 		n.wait.Add(now - issuedAt)
+		n.waitHist.Add(now - issuedAt)
 
 		// Popping freed a slot at interface j; admit a stalled request.
 		if !math.IsNaN(n.stalled[j]) {
@@ -280,7 +303,7 @@ func (n *Network) tryDispatch() {
 		n.busy++
 		n.util.Set(float64(n.busy)/float64(n.nBuses), now)
 		n.busUtil[b].Set(1, now)
-		n.eng.Schedule(n.rng.Exp(n.cfg.ServiceRate), n.completeFn[b])
+		n.eng.Schedule(n.service.Sample(n.rng), n.completeFn[b])
 	}
 }
 
@@ -288,6 +311,7 @@ func (n *Network) tryDispatch() {
 func (n *Network) complete(b int) {
 	now := n.eng.Now()
 	n.resp.Add(now - n.servIssued[b])
+	n.respHist.Add(now - n.servIssued[b])
 	n.completions++
 	released := n.serving[b]
 	n.serving[b] = -1
@@ -309,6 +333,8 @@ func (n *Network) ResetStats() {
 	n.statsStart = now
 	n.wait.Reset()
 	n.resp.Reset()
+	n.waitHist.Reset()
+	n.respHist.Reset()
 	n.issued = 0
 	n.completions = 0
 	for i := range n.grants {
@@ -344,6 +370,12 @@ type Metrics struct {
 	Issued         uint64    `json:"issued"`
 	Completions    uint64    `json:"completions"`
 	Grants         []uint64  `json:"grants"`
+	// WaitHist and RespHist are snapshot copies of the per-observation
+	// latency histograms — the quantile/merging layer above reads them.
+	// They are collectors, not summary scalars, so they stay out of the
+	// JSON form.
+	WaitHist *sim.Histogram `json:"-"`
+	RespHist *sim.Histogram `json:"-"`
 }
 
 // Snapshot computes metrics as of the engine's current time without
@@ -361,6 +393,8 @@ func (n *Network) Snapshot() Metrics {
 		bu.Finish(now)
 		perBus[b] = bu.Average(elapsed)
 	}
+	waitHist := n.waitHist
+	respHist := n.respHist
 	m := Metrics{
 		Elapsed:        elapsed,
 		Utilization:    util.Average(elapsed),
@@ -374,6 +408,8 @@ func (n *Network) Snapshot() Metrics {
 		Issued:         n.issued,
 		Completions:    n.completions,
 		Grants:         append([]uint64(nil), n.grants...),
+		WaitHist:       &waitHist,
+		RespHist:       &respHist,
 	}
 	if elapsed > 0 {
 		m.Throughput = float64(n.completions) / elapsed

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/busnet/busnet/internal/servdist"
 	"github.com/busnet/busnet/internal/sim"
 	"github.com/busnet/busnet/internal/workload"
 )
@@ -351,6 +352,166 @@ func TestResetStatsDropsHistoryKeepsState(t *testing.T) {
 	}
 	if after.Elapsed != 1000 {
 		t.Fatalf("measured interval = %v, want 1000", after.Elapsed)
+	}
+}
+
+// burstSource fires one synchronized opening burst — station i issues at
+// t = i·0.001 — then settles into a light periodic trickle. It exists to
+// manufacture the classic warmup transient: a deep one-off queue that
+// drains long before measurement should begin.
+type burstSource struct {
+	i       int
+	started bool
+}
+
+func (s *burstSource) Next(*sim.RNG) float64 {
+	if !s.started {
+		s.started = true
+		return float64(s.i) * 0.001
+	}
+	// Station-specific periods keep the follow-up arrivals dispersed —
+	// a shared period would re-synchronize into a fresh burst every cycle.
+	return 50 + 7*float64(s.i)
+}
+func (s *burstSource) Name() string { return "test-burst" }
+
+// Warmup truncation must scrub the extrema, not just the means: drive a
+// synchronized 32-station burst (peak queue ≈ 31, waits ≈ 30 service
+// times), let it drain fully, ResetStats, and run on under the light
+// trickle — post-reset MaxQueueLen and MaxWait must sit far below the
+// transient's peaks. Regression lock for Tally.Reset and
+// TimeWeighted.ResetAt clearing Max.
+func TestResetStatsScrubsWarmupExtrema(t *testing.T) {
+	const stations = 32
+	srcs := make([]workload.Source, stations)
+	for i := range srcs {
+		srcs[i] = &burstSource{i: i}
+	}
+	cfg := Config{
+		Processors: stations, ServiceRate: 1,
+		Mode: Buffered, BufferCap: Infinite, Arbiter: NewRoundRobin(),
+		Sources: srcs,
+	}
+	n, eng := newTestNetwork(t, cfg, 21)
+	n.Start()
+	// The burst queues ~all stations at once and drains at μ = 1 over
+	// ~32 time units; by t = 200 the system has long been in its light
+	// steady trickle (one request per station every 50).
+	if err := eng.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	pre := n.Snapshot()
+	if pre.MaxQueueLen < float64(stations)-5 || pre.MaxWait < 20 {
+		t.Fatalf("burst did not build the transient: maxQ=%v maxWait=%v", pre.MaxQueueLen, pre.MaxWait)
+	}
+	n.ResetStats()
+	if err := eng.RunUntil(2000); err != nil {
+		t.Fatal(err)
+	}
+	post := n.Snapshot()
+	if post.Completions == 0 {
+		t.Fatal("no post-reset completions; trickle not running")
+	}
+	// Periodic arrivals 50 apart on an idle bus wait at most a handful of
+	// service times; anything near the burst's extrema means the reset
+	// leaked pre-warmup history into Max.
+	if post.MaxQueueLen >= pre.MaxQueueLen/2 {
+		t.Fatalf("post-reset MaxQueueLen %v still near the transient peak %v",
+			post.MaxQueueLen, pre.MaxQueueLen)
+	}
+	if post.MaxWait >= pre.MaxWait/2 {
+		t.Fatalf("post-reset MaxWait %v still near the transient peak %v",
+			post.MaxWait, pre.MaxWait)
+	}
+}
+
+// Conservation invariant under buffered-finite stall churn, single bus
+// and fabric: every issued request is exactly accounted for — completed,
+// waiting at an interface, stalled at a full one, or in service — and
+// the per-bus utilizations average to the aggregate within float
+// tolerance. The workload saturates 4-deep buffers so admission,
+// stalling, and re-admission all churn continuously.
+func TestBufferedFiniteStallConservation(t *testing.T) {
+	for _, buses := range []int{1, 4} {
+		t.Run(map[int]string{1: "m1", 4: "m4"}[buses], func(t *testing.T) {
+			cfg := Config{
+				Processors: 12, ThinkRate: 0.8, ServiceRate: 1, // demand 9.6: saturates 1 and 4 buses
+				Mode: Buffered, BufferCap: 4, Arbiter: NewRoundRobin(), Buses: buses,
+			}
+			n, eng := newTestNetwork(t, cfg, 29)
+			n.Start()
+			sawStall := false
+			for step := 0; step < 200; step++ {
+				if err := eng.RunUntil(eng.Now() + 25); err != nil {
+					t.Fatal(err)
+				}
+				m := n.Snapshot()
+				inFlight := 0
+				for i := 0; i < cfg.Processors; i++ {
+					c := n.Outstanding(i)
+					// Cap waiting slots, plus one stalled at the full
+					// interface, plus up to one in service per bus.
+					if c > cfg.BufferCap+1+buses {
+						t.Fatalf("t=%v: processor %d outstanding %d exceeds cap+1+m", eng.Now(), i, c)
+					}
+					inFlight += c
+					if !math.IsNaN(n.stalled[i]) {
+						sawStall = true
+					}
+				}
+				if m.Issued != m.Completions+uint64(inFlight) {
+					t.Fatalf("t=%v: issued %d != completions %d + outstanding %d (stall accounting leak)",
+						eng.Now(), m.Issued, m.Completions, inFlight)
+				}
+				sum := 0.0
+				for _, u := range m.BusUtilization {
+					sum += u
+				}
+				if m.Elapsed > 0 && math.Abs(sum/float64(buses)-m.Utilization) > 1e-9 {
+					t.Fatalf("t=%v: mean per-bus utilization %v != aggregate %v",
+						eng.Now(), sum/float64(buses), m.Utilization)
+				}
+			}
+			if !sawStall {
+				t.Fatal("saturating workload never stalled a processor; churn not exercised")
+			}
+		})
+	}
+}
+
+// The service distribution is genuinely pluggable: deterministic service
+// makes every response at least one full service time and pins the busy
+// period per transaction, while the default remains exponential.
+func TestServiceDistributionShapesServiceTimes(t *testing.T) {
+	mustDist := func(spec servdist.Spec) servdist.Dist {
+		d, err := spec.NewDist(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cfg := Config{
+		Processors: 4, ThinkRate: 0.1, ServiceRate: 1,
+		Mode: Buffered, BufferCap: Infinite, Arbiter: NewRoundRobin(),
+		Service: mustDist(servdist.Spec{Kind: servdist.KindDeterministic}),
+	}
+	n, eng := newTestNetwork(t, cfg, 31)
+	n.Start()
+	if err := eng.RunUntil(5000); err != nil {
+		t.Fatal(err)
+	}
+	m := n.Snapshot()
+	if m.Completions == 0 {
+		t.Fatal("no completions with deterministic service")
+	}
+	// Response = wait + exactly 1.0 of service: the minimum response is 1.
+	if m.RespHist.Min() < 1 {
+		t.Fatalf("deterministic service produced a response %v < one service time", m.RespHist.Min())
+	}
+	// Throughput ≈ N·λ in a stable buffered system, so the dist did not
+	// change the load, only the shape.
+	if e := math.Abs(m.Throughput-0.4) / 0.4; e > 0.1 {
+		t.Fatalf("throughput %v strayed from N·λ = 0.4 (rel err %.3f)", m.Throughput, e)
 	}
 }
 

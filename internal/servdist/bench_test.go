@@ -1,0 +1,29 @@
+package servdist
+
+import (
+	"testing"
+
+	"github.com/busnet/busnet/internal/sim"
+)
+
+// benchSample measures one family's per-dispatch draw cost — paid once
+// per bus transaction on the simulator's hot path.
+func benchSample(b *testing.B, spec Spec) {
+	b.Helper()
+	d, err := spec.NewDist(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += d.Sample(rng)
+	}
+	_ = sink
+}
+
+func BenchmarkSampleExponential(b *testing.B)   { benchSample(b, Spec{}) }
+func BenchmarkSampleDeterministic(b *testing.B) { benchSample(b, Spec{Kind: KindDeterministic}) }
+func BenchmarkSampleErlang4(b *testing.B)       { benchSample(b, Spec{Kind: KindErlang, Shape: 4}) }
+func BenchmarkSampleHyperexp(b *testing.B)      { benchSample(b, Spec{Kind: KindHyperexp, SCV: 4}) }

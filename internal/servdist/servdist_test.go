@@ -1,0 +1,194 @@
+package servdist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/busnet/busnet/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		mu   float64
+		ok   bool
+	}{
+		{"zero-value-is-exponential", Spec{}, 1, true},
+		{"exponential", Spec{Kind: KindExponential}, 2, true},
+		{"deterministic", Spec{Kind: KindDeterministic}, 0.5, true},
+		{"erlang-1", Spec{Kind: KindErlang, Shape: 1}, 1, true},
+		{"erlang-8", Spec{Kind: KindErlang, Shape: 8}, 1, true},
+		{"hyperexp-scv1", Spec{Kind: KindHyperexp, SCV: 1}, 1, true},
+		{"hyperexp-scv16", Spec{Kind: KindHyperexp, SCV: 16}, 1, true},
+
+		{"unknown-kind", Spec{Kind: "weibull"}, 1, false},
+		{"zero-rate", Spec{}, 0, false},
+		{"negative-rate", Spec{}, -1, false},
+		{"inf-rate", Spec{}, math.Inf(1), false},
+		{"nan-rate", Spec{}, math.NaN(), false},
+		{"erlang-no-shape", Spec{Kind: KindErlang}, 1, false},
+		{"erlang-negative-shape", Spec{Kind: KindErlang, Shape: -2}, 1, false},
+		{"hyperexp-scv-below-1", Spec{Kind: KindHyperexp, SCV: 0.5}, 1, false},
+		{"hyperexp-scv-nan", Spec{Kind: KindHyperexp, SCV: math.NaN()}, 1, false},
+		{"hyperexp-scv-inf", Spec{Kind: KindHyperexp, SCV: math.Inf(1)}, 1, false},
+		{"stray-shape-on-exponential", Spec{Kind: KindExponential, Shape: 3}, 1, false},
+		{"stray-scv-on-deterministic", Spec{Kind: KindDeterministic, SCV: 2}, 1, false},
+		{"stray-scv-on-erlang", Spec{Kind: KindErlang, Shape: 2, SCV: 2}, 1, false},
+		{"stray-shape-on-hyperexp", Spec{Kind: KindHyperexp, SCV: 4, Shape: 2}, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate(tt.mu)
+			if tt.ok && err != nil {
+				t.Fatalf("Validate(%v, mu=%v) = %v, want nil", tt.spec, tt.mu, err)
+			}
+			if !tt.ok && err == nil {
+				t.Fatalf("Validate(%v, mu=%v) accepted an invalid spec", tt.spec, tt.mu)
+			}
+			if _, err2 := tt.spec.NewDist(tt.mu); (err2 == nil) != (err == nil) {
+				t.Fatalf("NewDist and Validate disagree: %v vs %v", err2, err)
+			}
+		})
+	}
+}
+
+// The exponential default must reproduce the pre-servdist draw sequence
+// bit for bit: one rng.Exp(mu) per sample, nothing more.
+func TestExponentialDrawIdentity(t *testing.T) {
+	d, err := Spec{}.NewDist(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if got, want := d.Sample(a), b.Exp(2.5); got != want {
+			t.Fatalf("draw %d: Sample = %v, rng.Exp = %v", i, got, want)
+		}
+	}
+}
+
+// Deterministic service consumes no randomness: the RNG state after a
+// million samples is untouched and every sample is exactly the mean.
+func TestDeterministicDrawFree(t *testing.T) {
+	d, err := Spec{Kind: KindDeterministic}.NewDist(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, ref := sim.NewRNG(3), sim.NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if got := d.Sample(rng); got != 0.25 {
+			t.Fatalf("sample %d = %v, want 0.25", i, got)
+		}
+	}
+	if rng.Uniform() != ref.Uniform() {
+		t.Fatal("deterministic Sample consumed randomness")
+	}
+}
+
+// Sample moments must match the declared Mean and SCV for every family:
+// the whole subsystem's contract is "equal mean, swept variability".
+func TestSampleMomentsMatchDeclared(t *testing.T) {
+	const n = 200_000
+	const mu = 2.0
+	specs := []Spec{
+		{Kind: KindExponential},
+		{Kind: KindDeterministic},
+		{Kind: KindErlang, Shape: 4},
+		{Kind: KindErlang, Shape: 1},
+		{Kind: KindHyperexp, SCV: 1},
+		{Kind: KindHyperexp, SCV: 4},
+		{Kind: KindHyperexp, SCV: 16},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Normalized().Kind+spec.Detail(), func(t *testing.T) {
+			d, err := spec.NewDist(mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := d.Mean(), 1/mu; math.Abs(got-want) > 1e-12 {
+				t.Fatalf("declared Mean = %v, want 1/μ = %v", got, want)
+			}
+			if got, want := d.SCV(), spec.SquaredCV(); got != want {
+				t.Fatalf("Dist SCV %v != Spec SquaredCV %v", got, want)
+			}
+			rng := sim.NewRNG(11)
+			var tally sim.Tally
+			for i := 0; i < n; i++ {
+				x := d.Sample(rng)
+				if !(x > 0) || math.IsInf(x, 1) {
+					t.Fatalf("sample %d = %v, want finite and > 0", i, x)
+				}
+				tally.Add(x)
+			}
+			if e := math.Abs(tally.Mean()-d.Mean()) / d.Mean(); e > 0.03 {
+				t.Errorf("sample mean %v vs declared %v (rel err %.3f)", tally.Mean(), d.Mean(), e)
+			}
+			scv := tally.Variance() / (tally.Mean() * tally.Mean())
+			// High-SCV hyperexponential moments converge slowly; scale the
+			// tolerance with the shape's own variability.
+			tol := 0.03 + 0.02*spec.SquaredCV()
+			if math.Abs(scv-d.SCV()) > tol {
+				t.Errorf("sample SCV %v vs declared %v (tol %v)", scv, d.SCV(), tol)
+			}
+		})
+	}
+}
+
+func TestSquaredCV(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want float64
+	}{
+		{Spec{}, 1},
+		{Spec{Kind: KindExponential}, 1},
+		{Spec{Kind: KindDeterministic}, 0},
+		{Spec{Kind: KindErlang, Shape: 4}, 0.25},
+		{Spec{Kind: KindHyperexp, SCV: 9}, 9},
+	}
+	for _, c := range cases {
+		if got := c.spec.SquaredCV(); got != c.want {
+			t.Errorf("SquaredCV(%+v) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestDetailAndNormalized(t *testing.T) {
+	if d := (Spec{Kind: KindErlang, Shape: 4}).Detail(); d != "shape=4" {
+		t.Errorf("erlang Detail = %q", d)
+	}
+	if d := (Spec{Kind: KindHyperexp, SCV: 2.5}).Detail(); d != "scv=2.5" {
+		t.Errorf("hyperexp Detail = %q", d)
+	}
+	if d := (Spec{}).Detail(); d != "" {
+		t.Errorf("exponential Detail = %q, want empty", d)
+	}
+	if k := (Spec{}).Normalized().Kind; k != KindExponential {
+		t.Errorf("zero spec normalized to %q", k)
+	}
+	if n := (Spec{Kind: KindDeterministic}).Normalized(); n.Kind != KindDeterministic {
+		t.Errorf("normalize rewrote an explicit kind: %+v", n)
+	}
+}
+
+// Erlang-k literally sums k exponential stage draws, so its draw count
+// must be k per sample — pinned here because the bus's trajectory (and
+// the golden determinism story) depends on every family's draw budget.
+func TestErlangDrawCount(t *testing.T) {
+	d, err := Spec{Kind: KindErlang, Shape: 3}.NewDist(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sim.NewRNG(5), sim.NewRNG(5)
+	_ = d.Sample(a)
+	// Reproduce by hand: three stage draws at rate k·μ = 3.
+	want := b.Exp(3) + b.Exp(3) + b.Exp(3)
+	got := d.Sample(sim.NewRNG(5))
+	if got != want {
+		t.Fatalf("erlang-3 sample %v != sum of 3 stage draws %v", got, want)
+	}
+	// And the two generators are in lockstep afterwards.
+	if a.Uniform() != b.Uniform() {
+		t.Fatal("erlang sample consumed a draw count other than k")
+	}
+}

@@ -51,3 +51,19 @@ func BenchmarkTimeWeightedSet(b *testing.B) {
 		w.Set(float64(i&7), float64(i))
 	}
 }
+
+// BenchmarkHistogramAdd measures the per-observation cost of the
+// streaming latency histogram — paid twice per bus transaction on the
+// simulator's hot path, so it must stay at bit-twiddling speed.
+func BenchmarkHistogramAdd(b *testing.B) {
+	var h Histogram
+	rng := NewRNG(1)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.Exp(0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(xs[i&4095])
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d min=%v max=%v q50=%v",
+			h.Count(), h.Min(), h.Max(), h.Quantile(0.5))
+	}
+}
+
+// Quantile estimates must track the true sample quantiles within the
+// bucket resolution (~4.4% relative error, plus the gap between
+// neighboring order statistics) on a spread-out sample.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := NewRNG(17)
+	xs := make([]float64, 0, 50_000)
+	for i := 0; i < 50_000; i++ {
+		x := rng.Exp(0.1) // mean 10, spans several octaves
+		xs = append(xs, x)
+		h.Add(x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		truth := xs[int(math.Ceil(q*float64(len(xs))))-1]
+		got := h.Quantile(q)
+		if e := math.Abs(got-truth) / truth; e > 0.05 {
+			t.Errorf("q=%v: histogram %v vs exact sample quantile %v (rel err %.4f)", q, got, truth, e)
+		}
+	}
+	if h.Quantile(0) != xs[0] || h.Quantile(1) != xs[len(xs)-1] {
+		t.Errorf("extremes not exact: q0=%v want %v, q1=%v want %v",
+			h.Quantile(0), xs[0], h.Quantile(1), xs[len(xs)-1])
+	}
+}
+
+// Zero observations (immediately granted requests) are first-class: they
+// occupy the low quantiles exactly.
+func TestHistogramZeroBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 60; i++ {
+		h.Add(0)
+	}
+	for i := 0; i < 40; i++ {
+		h.Add(1)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 = %v, want 0 (60%% of observations are zero)", got)
+	}
+	if got := h.Quantile(0.7); got == 0 {
+		t.Errorf("p70 = 0, want positive (only 60%% are zero)")
+	}
+	if h.Min() != 0 || h.Max() != 1 {
+		t.Errorf("min/max = %v/%v, want 0/1", h.Min(), h.Max())
+	}
+}
+
+// Out-of-span observations clamp into the edge buckets instead of
+// corrupting memory or vanishing.
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	var h Histogram
+	h.Add(1e-300)
+	h.Add(1e300)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != 1e300 {
+		t.Errorf("max quantile %v, want the exact max 1e300", got)
+	}
+	if got := h.Quantile(0); got != 1e-300 {
+		t.Errorf("min quantile %v, want the exact min 1e-300", got)
+	}
+}
+
+// Merging per-replication histograms must be lossless: exactly the
+// counts of one histogram over the pooled samples.
+func TestHistogramMergeEqualsPooled(t *testing.T) {
+	var a, b, pooled Histogram
+	rng := NewRNG(23)
+	for i := 0; i < 10_000; i++ {
+		x := rng.Exp(1)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		pooled.Add(x)
+	}
+	a.Merge(&b)
+	if a.Count() != pooled.Count() {
+		t.Fatalf("merged count %d != pooled %d", a.Count(), pooled.Count())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != pooled.Quantile(q) {
+			t.Errorf("q=%v: merged %v != pooled %v", q, a.Quantile(q), pooled.Quantile(q))
+		}
+	}
+	// Merging into an empty histogram is a copy; merging an empty or nil
+	// one is a no-op.
+	var empty Histogram
+	empty.Merge(&pooled)
+	if empty.Quantile(0.5) != pooled.Quantile(0.5) {
+		t.Error("merge into empty did not copy")
+	}
+	before := pooled.Count()
+	pooled.Merge(&Histogram{})
+	pooled.Merge(nil)
+	if pooled.Count() != before {
+		t.Error("merging empty/nil changed the histogram")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i + 1))
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("Reset left residue: count=%d max=%v", h.Count(), h.Max())
+	}
+	h.Add(2)
+	if h.Min() != 2 || h.Max() != 2 || h.Count() != 1 {
+		t.Fatalf("histogram unusable after Reset: %v/%v/%d", h.Min(), h.Max(), h.Count())
+	}
+}

@@ -129,6 +129,39 @@ func TestTimeWeightedResetAt(t *testing.T) {
 	}
 }
 
+// Warmup-extrema regression: a transient spike strictly above the value
+// live at the truncation point must not survive ResetAt — the post-reset
+// Max may only reflect the carried-over live value and later Sets, never
+// the pre-warmup peak.
+func TestTimeWeightedResetAtDropsTransientPeak(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 0)
+	w.Set(50, 1) // warmup burst peak
+	w.Set(3, 2)  // burst drained; 3 is live at the truncation point
+	w.ResetAt(10)
+	if w.Max() != 3 {
+		t.Fatalf("post-reset Max = %v, want 3 (the live value); 50 is pre-warmup transient", w.Max())
+	}
+	w.Set(7, 12)
+	w.Finish(20)
+	if w.Max() != 7 {
+		t.Fatalf("post-reset Max = %v, want 7", w.Max())
+	}
+}
+
+// Same property for Tally: a pre-reset extreme observation must not leak
+// into post-reset Max/Min.
+func TestTallyResetDropsTransientExtrema(t *testing.T) {
+	var ta Tally
+	ta.Add(0.001)
+	ta.Add(1e6) // warmup spike
+	ta.Reset()
+	ta.Add(5)
+	if ta.Max() != 5 || ta.Min() != 5 {
+		t.Fatalf("post-reset extrema %v/%v polluted by the pre-reset spike", ta.Min(), ta.Max())
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {

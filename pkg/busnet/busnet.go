@@ -35,6 +35,38 @@ import (
 	"github.com/busnet/busnet/internal/sim"
 )
 
+// Histogram re-exports the fixed-memory streaming latency histogram so
+// callers (and the sweep subpackage) can merge per-run distributions
+// across replications and query arbitrary quantiles without importing
+// internal packages.
+type Histogram = sim.Histogram
+
+// Quantiles summarizes one latency distribution at the tail percentiles
+// production dashboards care about. Values come from the run's streaming
+// log-bucketed histogram: each is the bucket-midpoint estimate of the
+// sample quantile, accurate to ~3% relative error (see Histogram).
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// QuantilesFrom reads the standard percentile set off a histogram — the
+// reduction used for Results and, after merging replications, for sweep
+// points. A nil or empty histogram yields all zeros.
+func QuantilesFrom(h *Histogram) Quantiles {
+	if h == nil {
+		return Quantiles{}
+	}
+	return Quantiles{
+		P50: h.Quantile(0.50),
+		P90: h.Quantile(0.90),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
+}
+
 // Results summarizes one simulation run over the measured interval
 // [warmup, horizon]. Waiting time runs from a request's issue to its
 // service start (including any stall at a full interface); response time
@@ -58,7 +90,15 @@ type Results struct {
 	WaitStdDev     float64   `json:"wait_std_dev"`
 	MaxWait        float64   `json:"max_wait"`
 	MeanResponse   float64   `json:"mean_response"`
-	Grants         []uint64  `json:"grants"`
+	// WaitQuantiles and ResponseQuantiles summarize the measured latency
+	// distributions (p50/p90/p95/p99); the full streaming histograms they
+	// were read from ride along unserialized so sweeps can merge
+	// replications and re-query pooled quantiles.
+	WaitQuantiles     Quantiles  `json:"wait_quantiles"`
+	ResponseQuantiles Quantiles  `json:"response_quantiles"`
+	WaitHistogram     *Histogram `json:"-"`
+	ResponseHistogram *Histogram `json:"-"`
+	Grants            []uint64   `json:"grants"`
 }
 
 // Prediction re-exports the analytic package's closed-form quantities so
@@ -132,21 +172,25 @@ func (n *Network) Run() (Results, error) {
 	}
 	m := model.Snapshot()
 	return Results{
-		Config:         n.cfg,
-		MeasuredTime:   m.Elapsed,
-		Events:         eng.Processed() - warmupEvents,
-		Issued:         m.Issued,
-		Completions:    m.Completions,
-		Throughput:     m.Throughput,
-		Utilization:    m.Utilization,
-		BusUtilization: m.BusUtilization,
-		MeanQueueLen:   m.MeanQueueLen,
-		MaxQueueLen:    m.MaxQueueLen,
-		MeanWait:       m.MeanWait,
-		WaitStdDev:     m.WaitStdDev,
-		MaxWait:        m.MaxWait,
-		MeanResponse:   m.MeanResponse,
-		Grants:         m.Grants,
+		Config:            n.cfg,
+		MeasuredTime:      m.Elapsed,
+		Events:            eng.Processed() - warmupEvents,
+		Issued:            m.Issued,
+		Completions:       m.Completions,
+		Throughput:        m.Throughput,
+		Utilization:       m.Utilization,
+		BusUtilization:    m.BusUtilization,
+		MeanQueueLen:      m.MeanQueueLen,
+		MaxQueueLen:       m.MaxQueueLen,
+		MeanWait:          m.MeanWait,
+		WaitStdDev:        m.WaitStdDev,
+		MaxWait:           m.MaxWait,
+		MeanResponse:      m.MeanResponse,
+		WaitQuantiles:     QuantilesFrom(m.WaitHist),
+		ResponseQuantiles: QuantilesFrom(m.RespHist),
+		WaitHistogram:     m.WaitHist,
+		ResponseHistogram: m.RespHist,
+		Grants:            m.Grants,
 	}, nil
 }
 
@@ -163,6 +207,13 @@ func (n *Network) Run() (Results, error) {
 // equal state rates is Poisson; see docs/traffic.md.) A single-bus
 // config always dispatches to the original single-server forms, so
 // m = 1 predictions are bit-identical to the pre-fabric ones.
+//
+// Non-exponential service (Config.Service) dispatches to the M/G/1
+// Pollaczek–Khinchine form — exact M/D/1 for deterministic service and
+// the general P-K formula for Erlang-k and hyperexponential — and only
+// in the single-bus buffered-infinite regime; every other combination
+// is refused, since no exact closed form exists there. See
+// docs/service.md for the formula mapping.
 func Predict(cfg Config) (Prediction, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
@@ -173,6 +224,25 @@ func Predict(cfg Config) (Prediction, error) {
 	}
 	mode, _ := parseMode(cfg.Mode)
 	multi := cfg.Buses > 1
+	if svc := cfg.Service; svc.Kind != ServiceExponential {
+		// Non-exponential service breaks the memorylessness every M/M form
+		// above relies on. The one closed form available is M/G/1
+		// Pollaczek–Khinchine — exact for the single-bus buffered-infinite
+		// regime, where arrivals are Poisson at Nλ and nothing blocks.
+		// Everything else (blocking, finite buffers, multi-bus M/G/m) has
+		// no exact closed form, and attaching an exponential-service model
+		// to a deterministic or heavy-tailed run would be a silently wrong
+		// overlay — refuse instead.
+		if mode != bus.Buffered || cfg.BufferCap != Infinite || multi {
+			return Prediction{}, fmt.Errorf(
+				"busnet: no closed-form model for %s service outside the single-bus buffered-infinite (M/G/1) regime",
+				svc.Kind)
+		}
+		if svc.Kind == ServiceDeterministic {
+			return analytic.MD1BufferedInfinite(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate)
+		}
+		return analytic.MG1BufferedInfinite(cfg.Processors, cfg.ThinkRate, cfg.ServiceRate, svc.SquaredCV())
+	}
 	if mode == bus.Unbuffered {
 		if multi {
 			return analytic.MultiUnbuffered(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate)

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/servdist"
 	"github.com/busnet/busnet/internal/workload"
 )
 
@@ -51,15 +52,21 @@ type Config struct {
 	Buses       int     `json:"buses"`
 	ThinkRate   float64 `json:"think_rate"`
 	ServiceRate float64 `json:"service_rate"`
-	Mode        string  `json:"mode"`
-	BufferCap   int     `json:"buffer_cap"` // -1 = infinite; meaningful only in buffered mode
-	Arbiter     string  `json:"arbiter"`
-	Weights     string  `json:"weights,omitempty"`
-	Traffic     Traffic `json:"traffic,omitzero"`
-	Seed        int64   `json:"seed"`
-	Stream      uint64  `json:"stream"`
-	Horizon     float64 `json:"horizon"`
-	Warmup      float64 `json:"warmup"`
+	// Service shapes the bus service-time distribution (exponential at
+	// ServiceRate by default — the paper's model; see the Service type
+	// for the deterministic, Erlang-k, and hyperexponential
+	// alternatives). Every shape keeps mean 1/ServiceRate, so it moves
+	// only the variability, never the offered load.
+	Service   Service `json:"service,omitzero"`
+	Mode      string  `json:"mode"`
+	BufferCap int     `json:"buffer_cap"` // -1 = infinite; meaningful only in buffered mode
+	Arbiter   string  `json:"arbiter"`
+	Weights   string  `json:"weights,omitempty"`
+	Traffic   Traffic `json:"traffic,omitzero"`
+	Seed      int64   `json:"seed"`
+	Stream    uint64  `json:"stream"`
+	Horizon   float64 `json:"horizon"`
+	Warmup    float64 `json:"warmup"`
 }
 
 // Traffic describes the shape of every processor's request-generation
@@ -109,6 +116,46 @@ func OnOffTraffic(burstRate, dutyCycle, cycleTime float64) Traffic {
 		DutyCycle: dutyCycle, CycleTime: cycleTime}
 }
 
+// Service describes the shape of the bus service-time distribution:
+// exponential (the paper's model and the default), deterministic (the
+// fixed-width transfer of real hardware), Erlang-k (sub-exponential,
+// SCV 1/k), or hyperexponential (bursty, SCV ≥ 1). It is a comparable
+// value type that round-trips through JSON; see the constructor helpers
+// ExponentialService, DeterministicService, ErlangService, and
+// HyperexpService, and docs/service.md for each family's
+// parameterization. All families have mean 1/Config.ServiceRate, so
+// sweeping the shape at fixed rates holds the offered load constant.
+type Service = servdist.Spec
+
+// Service kind strings accepted by Service.Kind. The empty string
+// normalizes to ServiceExponential.
+const (
+	ServiceExponential   = servdist.KindExponential
+	ServiceDeterministic = servdist.KindDeterministic
+	ServiceErlang        = servdist.KindErlang
+	ServiceHyperexp      = servdist.KindHyperexp
+)
+
+// ExponentialService returns the default service shape: exponential
+// transactions at Config.ServiceRate, the source paper's model (SCV 1).
+func ExponentialService() Service { return Service{Kind: ServiceExponential} }
+
+// DeterministicService returns fixed service times 1/Config.ServiceRate
+// — the fixed-width bus transfer (SCV 0, the exact M/D/1 regime when
+// buffered-infinite).
+func DeterministicService() Service { return Service{Kind: ServiceDeterministic} }
+
+// ErlangService returns Erlang-k service: the sum of k exponential
+// stages of rate k·Config.ServiceRate, interpolating deterministic
+// (k → ∞) and exponential (k = 1) with SCV 1/k.
+func ErlangService(k int) Service { return Service{Kind: ServiceErlang, Shape: k} }
+
+// HyperexpService returns two-branch balanced-means hyperexponential
+// service pinned by its squared coefficient of variation scv ≥ 1 —
+// the heavy-tailed regime where a few long transfers dominate the
+// queue. scv = 1 is statistically exponential.
+func HyperexpService(scv float64) Service { return Service{Kind: ServiceHyperexp, SCV: scv} }
+
 // RareBurstMMPP2 returns the mean-preserving rare-burst MMPP2 shape the
 // bursty curves sweep: a burst state occupied burstFrac of the time
 // (mean dwell `dwell` per visit) arriving at ratio× the calm state's
@@ -135,6 +182,7 @@ func DefaultConfig() Config {
 		Buses:       1,
 		ThinkRate:   0.1,
 		ServiceRate: 1.0,
+		Service:     ExponentialService(),
 		Mode:        ModeUnbuffered,
 		BufferCap:   Infinite,
 		Arbiter:     RoundRobin.String(),
@@ -229,6 +277,7 @@ func (c Config) normalized() Config {
 		c.Buses = 1
 	}
 	c.Traffic = c.Traffic.Normalized()
+	c.Service = c.Service.Normalized()
 	return c
 }
 
@@ -275,8 +324,13 @@ func (c Config) Validate() error {
 		return err
 	}
 	// Domain-level constraints (processor count, rates, buffer capacity)
-	// are validated by bus.Config so the two layers cannot drift apart.
-	return c.busConfig().Validate()
+	// are validated by bus.Config so the two layers cannot drift apart;
+	// the service spec is checked after it so a bad ServiceRate keeps its
+	// established domain-level error message.
+	if err := c.busConfig().Validate(); err != nil {
+		return err
+	}
+	return c.Service.Validate(c.ServiceRate)
 }
 
 // busConfig lowers the public value type to the domain model's config,
@@ -295,6 +349,7 @@ func (c Config) busConfig() bus.Config {
 		Mode:        mode,
 		BufferCap:   c.BufferCap,
 		Sources:     c.sources(),
+		Service:     c.serviceDist(),
 	}
 	switch kind {
 	case FixedPriority:
@@ -337,4 +392,21 @@ func (c Config) sources() []workload.Source {
 		srcs[i] = src
 	}
 	return srcs
+}
+
+// serviceDist lowers the Service spec to a servdist.Dist, or nil —
+// bus's built-in exponential default with the pre-subsystem draw
+// sequence — when the spec is (or normalizes to) plain exponential.
+// Invalid specs also lower to nil; Validate rejects them first on every
+// construction path.
+func (c Config) serviceDist() servdist.Dist {
+	spec := c.Service.Normalized()
+	if spec == ExponentialService() {
+		return nil
+	}
+	d, err := spec.NewDist(c.ServiceRate)
+	if err != nil {
+		return nil
+	}
+	return d
 }

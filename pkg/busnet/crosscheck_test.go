@@ -413,3 +413,71 @@ func TestBufferingIncreasesUtilization(t *testing.T) {
 			buf.MeanWait, unbuf.MeanWait)
 	}
 }
+
+// Acceptance criterion for the service-distribution subsystem: the
+// simulated mean wait under non-exponential service must match the
+// M/G/1 Pollaczek–Khinchine reference within the 95% confidence
+// half-width of 10 independent replications, at (λ, μ, shape) points
+// spanning deterministic (exact M/D/1), Erlang, and hyperexponential
+// service across light and heavy load. Buffered-infinite single bus:
+// N Poisson sources superpose to Poisson arrivals at Nλ, so the closed
+// form is exact and any systematic gap is a simulator bug, not model
+// error.
+func TestServiceShapesMatchPollaczekKhinchine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon cross-validation")
+	}
+	points := []struct {
+		name    string
+		n       int
+		lambda  float64
+		mu      float64
+		service Service
+	}{
+		{"md1/rho0.8", 16, 0.05, 1, DeterministicService()},
+		{"md1/rho0.6", 16, 0.0375, 1, DeterministicService()},
+		{"md1/rho0.4/mu2", 8, 0.1, 2, DeterministicService()},
+		{"mh21/scv4/rho0.8", 16, 0.05, 1, HyperexpService(4)},
+		{"mh21/scv2/rho0.6", 16, 0.0375, 1, HyperexpService(2)},
+		{"mh21/scv8/rho0.4", 8, 0.05, 1, HyperexpService(8)},
+		{"me41/rho0.8", 16, 0.05, 1, ErlangService(4)},
+	}
+	const reps = 10
+	for _, pt := range points {
+		t.Run(pt.name, func(t *testing.T) {
+			cfg := DefaultConfig().AtHorizon(400_000)
+			cfg.Seed = 42
+			cfg.Mode = ModeBuffered
+			cfg.BufferCap = Infinite
+			cfg.Processors = pt.n
+			cfg.ThinkRate = pt.lambda
+			cfg.ServiceRate = pt.mu
+			cfg.Service = pt.service
+			pred, err := Predict(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, sumSq float64
+			for r := 0; r < reps; r++ {
+				run := cfg
+				run.Stream = uint64(r)
+				res, err := runCfg(t, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum += res.MeanWait
+				sumSq += res.MeanWait * res.MeanWait
+			}
+			mean := sum / reps
+			sd := math.Sqrt((sumSq - reps*mean*mean) / (reps - 1))
+			halfWidth := 2.262 * sd / math.Sqrt(reps) // t_{0.975, 9}
+			if halfWidth <= 0 {
+				t.Fatalf("degenerate CI half-width %v; replications not independent?", halfWidth)
+			}
+			if diff := math.Abs(mean - pred.MeanWait); diff > halfWidth {
+				t.Errorf("mean wait %.5f vs P-K %.5f: |diff| %.5f exceeds 95%% CI half-width %.5f",
+					mean, pred.MeanWait, diff, halfWidth)
+			}
+		})
+	}
+}

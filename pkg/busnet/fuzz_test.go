@@ -21,6 +21,7 @@ func FuzzConfigValidate(f *testing.F) {
 			cfg.Traffic.Kind, cfg.Traffic.Rate0, cfg.Traffic.Rate1,
 			cfg.Traffic.Switch01, cfg.Traffic.Switch10,
 			cfg.Traffic.BurstRate, cfg.Traffic.DutyCycle, cfg.Traffic.CycleTime,
+			cfg.Service.Kind, cfg.Service.Shape, cfg.Service.SCV,
 			cfg.Horizon, cfg.Warmup)
 	}
 	seed(DefaultConfig())
@@ -37,10 +38,19 @@ func FuzzConfigValidate(f *testing.F) {
 	onoff := DefaultConfig()
 	onoff.Traffic = OnOffTraffic(0.5, 0.25, 100)
 	seed(onoff)
+	hyper := DefaultConfig()
+	hyper.Mode = ModeBuffered
+	hyper.BufferCap = Infinite
+	hyper.Service = HyperexpService(4)
+	seed(hyper)
+	erl := DefaultConfig()
+	erl.Service = ErlangService(4)
+	seed(erl)
 
 	f.Fuzz(func(t *testing.T, processors, buses int, think, service float64,
 		mode string, bufferCap int, arbiter, weights, kind string,
 		rate0, rate1, sw01, sw10, burst, duty, cycle float64,
+		svcKind string, svcShape int, svcSCV float64,
 		horizon, warmup float64) {
 		cfg := Config{
 			Processors:  processors,
@@ -54,6 +64,7 @@ func FuzzConfigValidate(f *testing.F) {
 			Traffic: Traffic{Kind: kind, Rate0: rate0, Rate1: rate1,
 				Switch01: sw01, Switch10: sw10,
 				BurstRate: burst, DutyCycle: duty, CycleTime: cycle},
+			Service: Service{Kind: svcKind, Shape: svcShape, SCV: svcSCV},
 			Seed:    1,
 			Horizon: horizon,
 			Warmup:  warmup,

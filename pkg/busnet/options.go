@@ -78,6 +78,13 @@ func WithThinkRate(lambda float64) Option { return func(b *builder) { b.cfg.Thin
 // WithServiceRate sets μ, the bus service rate (mean transaction 1/μ).
 func WithServiceRate(mu float64) Option { return func(b *builder) { b.cfg.ServiceRate = mu } }
 
+// WithService selects the bus service-time distribution; see
+// ExponentialService, DeterministicService, ErlangService, and
+// HyperexpService. Every shape keeps mean 1/ServiceRate, so this moves
+// only the variability of bus transactions, never the offered load. The
+// default is exponential at the service rate, the source paper's model.
+func WithService(s Service) Option { return func(b *builder) { b.cfg.Service = s } }
+
 // WithUnbuffered selects the unbuffered regime: a processor blocks from
 // issuing a request until the bus has served it. This is the default.
 func WithUnbuffered() Option {

@@ -16,7 +16,9 @@ import (
 // specs at increasing burstiness (typically mean-rate matched); Weights
 // sweeps weighted-round-robin weight vectors in Config.Weights form;
 // Buses sweeps the fabric width m (so a speedup-vs-bus-count curve is a
-// grid over Buses at a fixed workload).
+// grid over Buses at a fixed workload); Services sweeps the bus
+// service-time shape — every entry keeps mean 1/ServiceRate, so a
+// service-shape curve moves only the variability at constant load.
 type Grid struct {
 	Base         busnet.Config    `json:"base"`
 	Processors   []int            `json:"processors,omitempty"`
@@ -28,6 +30,7 @@ type Grid struct {
 	Arbiters     []string         `json:"arbiters,omitempty"`
 	Weights      []string         `json:"weights,omitempty"`
 	Traffics     []busnet.Traffic `json:"traffics,omitempty"`
+	Services     []busnet.Service `json:"services,omitempty"`
 }
 
 // axis returns the sweep values for one parameter: the axis itself, or
@@ -41,9 +44,9 @@ func axis[T any](vals []T, base T) []T {
 
 // Points expands the grid into validated configs in a fixed order —
 // processors outermost, then buses, think rate, service rate, mode,
-// buffer capacity, arbiter, weights, and traffic innermost — so equal
-// grids always enumerate equal point sequences. Every point inherits
-// the base's Seed, Stream, Horizon, and Warmup.
+// buffer capacity, arbiter, weights, traffic, and service shape
+// innermost — so equal grids always enumerate equal point sequences.
+// Every point inherits the base's Seed, Stream, Horizon, and Warmup.
 func (g Grid) Points() ([]busnet.Config, error) {
 	var points []busnet.Config
 	for _, n := range axis(g.Processors, g.Base.Processors) {
@@ -55,20 +58,23 @@ func (g Grid) Points() ([]busnet.Config, error) {
 							for _, arb := range axis(g.Arbiters, g.Base.Arbiter) {
 								for _, weights := range axis(g.Weights, g.Base.Weights) {
 									for _, traffic := range axis(g.Traffics, g.Base.Traffic) {
-										cfg := g.Base
-										cfg.Processors = n
-										cfg.Buses = m
-										cfg.ThinkRate = lambda
-										cfg.ServiceRate = mu
-										cfg.Mode = mode
-										cfg.BufferCap = capacity
-										cfg.Arbiter = arb
-										cfg.Weights = weights
-										cfg.Traffic = traffic
-										if err := cfg.Validate(); err != nil {
-											return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+										for _, service := range axis(g.Services, g.Base.Service) {
+											cfg := g.Base
+											cfg.Processors = n
+											cfg.Buses = m
+											cfg.ThinkRate = lambda
+											cfg.ServiceRate = mu
+											cfg.Mode = mode
+											cfg.BufferCap = capacity
+											cfg.Arbiter = arb
+											cfg.Weights = weights
+											cfg.Traffic = traffic
+											cfg.Service = service
+											if err := cfg.Validate(); err != nil {
+												return nil, fmt.Errorf("sweep: point %d invalid: %w", len(points), err)
+											}
+											points = append(points, cfg)
 										}
-										points = append(points, cfg)
 									}
 								}
 							}

@@ -5,14 +5,24 @@ import "math"
 // Stat summarizes one metric across the replications of a grid point:
 // sample mean, sample standard deviation, and a 95% confidence interval
 // on the mean (half-width CI95, bounds Lo/Hi) using the Student-t
-// quantile for the replication count. With a single replication the
-// interval collapses to the point estimate.
+// quantile for the replication count.
+//
+// With a single replication the Student-t interval has zero degrees of
+// freedom and does not exist; rather than emit a NaN/∞ half-width (which
+// would poison JSON encoding and CSV parsing downstream), the interval
+// collapses to the point estimate with CI95 = 0 and CIUndefined set, so
+// consumers can tell "no spread measured" apart from a genuine
+// zero-width interval. CSV output renders the half-width of an undefined
+// interval as an empty cell.
 type Stat struct {
 	Mean   float64 `json:"mean"`
 	StdDev float64 `json:"std_dev"`
 	CI95   float64 `json:"ci95"`
 	Lo     float64 `json:"lo"`
 	Hi     float64 `json:"hi"`
+	// CIUndefined marks a point estimate whose confidence interval does
+	// not exist (fewer than two replications).
+	CIUndefined bool `json:"ci_undefined,omitempty"`
 }
 
 // summarize reduces the replication values of one metric. Two-pass mean
@@ -29,7 +39,9 @@ func summarize(xs []float64) Stat {
 	}
 	mean := sum / float64(n)
 	if n == 1 {
-		return Stat{Mean: mean, Lo: mean, Hi: mean}
+		// t_{0.975, 0} does not exist: report the bare point estimate and
+		// say so explicitly instead of manufacturing a NaN half-width.
+		return Stat{Mean: mean, Lo: mean, Hi: mean, CIUndefined: true}
 	}
 	var ss float64
 	for _, x := range xs {

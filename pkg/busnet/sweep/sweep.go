@@ -51,6 +51,13 @@ type PointResult struct {
 	MeanWait     Stat               `json:"mean_wait"`
 	MeanQueueLen Stat               `json:"mean_queue_len"`
 	MeanResponse Stat               `json:"mean_response"`
+	// WaitQuantiles and ResponseQuantiles are pooled tail-latency
+	// percentiles: the per-replication streaming histograms are merged
+	// (bucket counts add losslessly) and the quantiles read off the
+	// pooled distribution, so every replication's samples weigh in —
+	// exactly what a per-replication mean of p99s would not give.
+	WaitQuantiles     busnet.Quantiles `json:"wait_quantiles"`
+	ResponseQuantiles busnet.Quantiles `json:"response_quantiles"`
 	// Grants is the per-processor bus-grant count summed across the
 	// point's replications; its skew is the fairness/starvation signal
 	// arbiter comparisons read.
@@ -175,6 +182,13 @@ func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
 			pr.Grants[i] += g
 		}
 	}
+	var waitHist, respHist busnet.Histogram
+	for _, r := range runs {
+		waitHist.Merge(r.WaitHistogram)
+		respHist.Merge(r.ResponseHistogram)
+	}
+	pr.WaitQuantiles = busnet.QuantilesFrom(&waitHist)
+	pr.ResponseQuantiles = busnet.QuantilesFrom(&respHist)
 	if pred, err := busnet.Predict(cfg); err == nil {
 		pr.Analytic = &pred
 	}

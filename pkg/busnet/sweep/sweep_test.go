@@ -376,3 +376,131 @@ func TestTCritical95(t *testing.T) {
 		}
 	}
 }
+
+// The services axis expands innermost like every other axis, each point
+// carrying its full shape spec, so a service-variability curve is just a
+// grid over Service values.
+func TestGridServicesAxis(t *testing.T) {
+	base := testBase()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	g := Grid{
+		Base:       base,
+		ThinkRates: []float64{0.05, 0.1},
+		Services: []busnet.Service{
+			busnet.DeterministicService(),
+			busnet.ExponentialService(),
+			busnet.HyperexpService(4),
+		},
+	}
+	points, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*3 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	if points[0].Service != busnet.DeterministicService() || points[1].Service != busnet.ExponentialService() {
+		t.Fatalf("services not innermost: %+v / %+v", points[0].Service, points[1].Service)
+	}
+	if points[3].ThinkRate != 0.1 || points[3].Service != busnet.DeterministicService() {
+		t.Fatalf("outer axis did not advance: %+v", points[3])
+	}
+	bad := Grid{Base: base, Services: []busnet.Service{busnet.HyperexpService(0.2)}}
+	if _, err := bad.Points(); err == nil {
+		t.Fatal("invalid service spec accepted into the grid")
+	}
+}
+
+// A single replication cannot carry a Student-t interval: the Stat must
+// say so explicitly (ci_undefined in JSON) instead of shipping a NaN or
+// a fake zero-width interval, on every metric of every point.
+func TestSingleReplicationCIMarkedUndefined(t *testing.T) {
+	res, err := Run(Spec{
+		Grid:         Grid{Base: testBase()},
+		Replications: 1,
+		Workers:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	for name, s := range map[string]Stat{
+		"utilization": pt.Utilization, "throughput": pt.Throughput,
+		"mean_wait": pt.MeanWait, "mean_queue_len": pt.MeanQueueLen,
+		"mean_response": pt.MeanResponse,
+	} {
+		if !s.CIUndefined {
+			t.Errorf("%s: single-replication Stat not marked ci_undefined: %+v", name, s)
+		}
+		if s.CI95 != 0 || math.IsNaN(s.CI95) || s.Lo != s.Mean || s.Hi != s.Mean {
+			t.Errorf("%s: single-replication interval not collapsed to the point estimate: %+v", name, s)
+		}
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("single-replication result does not marshal: %v", err)
+	}
+	if !bytes.Contains(blob, []byte(`"ci_undefined":true`)) {
+		t.Error("JSON output missing the ci_undefined marker")
+	}
+	if bytes.Contains(blob, []byte("NaN")) || bytes.Contains(blob, []byte("Inf")) {
+		t.Error("JSON output contains non-finite values")
+	}
+	// With two replications the marker must disappear and a real interval
+	// appear.
+	res2, err := Run(Spec{Grid: Grid{Base: testBase()}, Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res2.Points[0].MeanWait; s.CIUndefined || !(s.CI95 > 0) {
+		t.Errorf("two-replication Stat mis-marked: %+v", s)
+	}
+	blob2, _ := json.Marshal(res2)
+	if bytes.Contains(blob2, []byte("ci_undefined")) {
+		t.Error("ci_undefined emitted despite a defined interval (omitempty broken)")
+	}
+}
+
+// Pooled quantiles: the point's percentiles come from merging every
+// replication's histogram, so they must be ordered, bracket the
+// replication-mean wait, and respond to service variability in the
+// right direction.
+func TestPointQuantilesPooledAcrossReplications(t *testing.T) {
+	base := testBase()
+	base.Mode = busnet.ModeBuffered
+	base.BufferCap = busnet.Infinite
+	base.Processors = 16
+	base.ThinkRate = 0.05
+	res, err := Run(Spec{
+		Grid: Grid{
+			Base: base,
+			Services: []busnet.Service{
+				busnet.DeterministicService(),
+				busnet.HyperexpService(8),
+			},
+		},
+		Replications: 4,
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, h2 := res.Points[0], res.Points[1]
+	for _, pt := range []PointResult{det, h2} {
+		w := pt.WaitQuantiles
+		if !(w.P50 <= w.P90 && w.P90 <= w.P95 && w.P95 <= w.P99) {
+			t.Fatalf("%+v: pooled wait quantiles not monotone: %+v", pt.Config.Service, w)
+		}
+		r := pt.ResponseQuantiles
+		if r.P99 < w.P99 || r.P50 < w.P50 {
+			t.Fatalf("%+v: response quantiles below wait quantiles", pt.Config.Service)
+		}
+	}
+	// Heavy-tailed service must show a fatter pooled tail than
+	// deterministic service at the same load.
+	if !(h2.WaitQuantiles.P99 > det.WaitQuantiles.P99) {
+		t.Errorf("hyperexp p99 %v not above deterministic p99 %v",
+			h2.WaitQuantiles.P99, det.WaitQuantiles.P99)
+	}
+}
