@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 
+	"github.com/busnet/busnet/pkg/busnet"
 	"github.com/busnet/busnet/pkg/busnet/sweep"
 )
 
@@ -12,7 +13,7 @@ import (
 // then mean/ci95 per metric, then the analytic prediction (blank when no
 // steady state exists).
 var csvHeader = []string{
-	"scenario", "curve", "point",
+	"scenario", "curve", "backend", "point",
 	"processors", "buses", "think_rate", "service_rate", "service", "service_detail",
 	"mode", "buffer_cap", "arbiter",
 	"weights", "traffic", "traffic_detail", "mean_think_rate",
@@ -25,13 +26,17 @@ var csvHeader = []string{
 	"wait_p50", "wait_p95", "wait_p99",
 	"response_p50", "response_p95", "response_p99",
 	"analytic_util", "analytic_throughput", "analytic_wait", "analytic_qlen", "analytic_response",
+	"fluid_util", "fluid_throughput", "fluid_wait", "fluid_qlen", "fluid_response", "fluid_blocked",
 }
 
 // writeCSV flattens a report to CSV. Floats are rendered with
 // strconv's shortest round-trip formatting, so CSV output is as
-// deterministic as the JSON report. An undefined confidence interval
-// (single replication) renders as an empty ci95 cell, never a
-// meaningless 0.
+// deterministic as the JSON report. "Not measured" is always an empty
+// cell, never a meaningless 0: an undefined confidence interval (single
+// replication, or a model backend's point estimate) blanks its ci95
+// cell, disabled quantile collection blanks the six percentile cells,
+// and a point outside the analytic/fluid model's domain blanks that
+// overlay's cells.
 func writeCSV(w io.Writer, report Report) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -45,10 +50,16 @@ func writeCSV(w io.Writer, report Report) error {
 		}
 		return []string{f(s.Mean), f(s.CI95)}
 	}
+	quantiles := func(q *busnet.Quantiles) []string {
+		if q == nil {
+			return []string{"", "", ""}
+		}
+		return []string{f(q.P50), f(q.P95), f(q.P99)}
+	}
 	for _, curve := range report.Curves {
 		for p, pt := range curve.Result.Points {
 			row := []string{
-				report.Scenario, curve.Name, i(p),
+				report.Scenario, curve.Name, string(curve.Backend), i(p),
 				i(pt.Config.Processors), i(pt.Config.Buses), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
 				pt.Config.Service.Kind, pt.Config.Service.Detail(),
 				pt.Config.Mode, i(pt.Config.BufferCap), pt.Config.Arbiter,
@@ -62,14 +73,19 @@ func writeCSV(w io.Writer, report Report) error {
 			row = append(row, stat(pt.MeanWait)...)
 			row = append(row, stat(pt.MeanQueueLen)...)
 			row = append(row, stat(pt.MeanResponse)...)
-			row = append(row,
-				f(pt.WaitQuantiles.P50), f(pt.WaitQuantiles.P95), f(pt.WaitQuantiles.P99),
-				f(pt.ResponseQuantiles.P50), f(pt.ResponseQuantiles.P95), f(pt.ResponseQuantiles.P99))
+			row = append(row, quantiles(pt.WaitQuantiles)...)
+			row = append(row, quantiles(pt.ResponseQuantiles)...)
 			if a := pt.Analytic; a != nil {
 				row = append(row, f(a.Utilization), f(a.Throughput), f(a.MeanWait),
 					f(a.MeanQueueLen), f(a.MeanResponse))
 			} else {
 				row = append(row, "", "", "", "", "")
+			}
+			if fl := pt.Fluid; fl != nil {
+				row = append(row, f(fl.Utilization), f(fl.Throughput), f(fl.MeanWait),
+					f(fl.MeanQueueLen), f(fl.MeanResponse), f(fl.Blocked))
+			} else {
+				row = append(row, "", "", "", "", "", "")
 			}
 			if err := cw.Write(row); err != nil {
 				return err

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"github.com/busnet/busnet/pkg/busnet"
 )
 
 func TestListScenarios(t *testing.T) {
@@ -62,8 +64,14 @@ func TestScenariosEmitValidJSON(t *testing.T) {
 				t.Fatal("report has no curves")
 			}
 			for _, c := range report.Curves {
-				if c.Result.Replications != 3 {
-					t.Fatalf("curve %s ran %d replications, want 3", c.Name, c.Result.Replications)
+				// Model backends evaluate points directly — no replications.
+				wantReps := 3
+				if c.Backend != busnet.BackendSim {
+					wantReps = 0
+				}
+				if c.Result.Replications != wantReps {
+					t.Fatalf("curve %s (%s backend) ran %d replications, want %d",
+						c.Name, c.Backend, c.Result.Replications, wantReps)
 				}
 				if len(c.Result.Points) == 0 {
 					t.Fatalf("curve %s has no points", c.Name)
@@ -616,5 +624,107 @@ func TestSingleReplicationCSVEmptiesCICells(t *testing.T) {
 	}
 	if !strings.Contains(jsonOut.String(), `"ci_undefined": true`) {
 		t.Error("JSON report missing ci_undefined marker for a single replication")
+	}
+}
+
+// Disabled quantile collection renders as empty percentile cells, never
+// zeros — the CSV face of the same contract the JSON side locks with
+// omitted keys (sweep.PointResult's omitempty quantile pointers).
+func TestQuantileCSVCellsEmptyWhenDisabled(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "paper-curves", "-horizon", "1500", "-replications", "2", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	waitMean := col(t, header, "wait_mean")
+	for _, name := range []string{"wait_p50", "wait_p95", "wait_p99", "response_p50", "response_p95", "response_p99"} {
+		cell := col(t, header, name)
+		for _, row := range rows[1:] {
+			if cell(row) != "" {
+				t.Fatalf("%s = %q with quantile collection disabled, want empty cell", name, cell(row))
+			}
+		}
+	}
+	for _, row := range rows[1:] {
+		if _, err := strconv.ParseFloat(waitMean(row), 64); err != nil {
+			t.Fatalf("wait_mean cell %q not numeric: %v", waitMean(row), err)
+		}
+	}
+}
+
+// The fluid-curves scenario end to end through the CLI: model-backend
+// rows carry fluid columns and zero replications with empty ci95 and
+// quantile cells, while the sim-backed comparison curve still carries
+// the fluid overlay next to its measured statistics.
+func TestFluidCurvesCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "fluid-curves", "-horizon", "2000", "-replications", "3", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	curve := col(t, header, "curve")
+	backend := col(t, header, "backend")
+	procs := col(t, header, "processors")
+	reps := col(t, header, "replications")
+	utilMean := col(t, header, "util_mean")
+	utilCI := col(t, header, "util_ci95")
+	waitP50 := col(t, header, "wait_p50")
+	fluidUtil := col(t, header, "fluid_util")
+	fluidWait := col(t, header, "fluid_wait")
+	fluidBlocked := col(t, header, "fluid_blocked")
+
+	seen := map[string]bool{}
+	var millionRows int
+	for _, row := range rows[1:] {
+		seen[curve(row)] = true
+		if fluidUtil(row) == "" || fluidWait(row) == "" || fluidBlocked(row) == "" {
+			t.Fatalf("curve %s: fluid overlay cells empty in row %v", curve(row), row[:4])
+		}
+		if _, err := strconv.ParseFloat(fluidBlocked(row), 64); err != nil {
+			t.Fatalf("fluid_blocked cell %q not numeric", fluidBlocked(row))
+		}
+		switch backend(row) {
+		case "fluid":
+			if reps(row) != "0" {
+				t.Errorf("curve %s: fluid-backend row reports %s replications, want 0", curve(row), reps(row))
+			}
+			if utilCI(row) != "" || waitP50(row) != "" {
+				t.Errorf("curve %s: model row has sampled-statistics cells: ci95=%q p50=%q",
+					curve(row), utilCI(row), waitP50(row))
+			}
+			if v, err := strconv.ParseFloat(utilMean(row), 64); err != nil || v <= 0 {
+				t.Errorf("curve %s: util_mean %q not a positive number", curve(row), utilMean(row))
+			}
+			if procs(row) == "1000000" {
+				millionRows++
+			}
+		case "sim":
+			if reps(row) != "3" {
+				t.Errorf("curve %s: sim row reports %s replications, want 3", curve(row), reps(row))
+			}
+			if utilCI(row) == "" {
+				t.Errorf("curve %s: sim row missing its ci95", curve(row))
+			}
+		default:
+			t.Errorf("unexpected backend %q", backend(row))
+		}
+	}
+	for _, name := range []string{"fluid-large-n", "fluid-vs-des", "fluid-vs-exact"} {
+		if !seen[name] {
+			t.Errorf("scenario never emitted curve %s", name)
+		}
+	}
+	if millionRows == 0 {
+		t.Error("fluid-large-n never reached N = 1,000,000")
 	}
 }

@@ -30,20 +30,25 @@ func (p Params) base() busnet.Config {
 }
 
 // Curve declares one paper figure: a named grid producing a single swept
-// curve with replication CIs and analytic overlays.
+// curve with replication CIs and analytic overlays. backend selects how
+// the grid is evaluated — the zero value is the discrete-event
+// simulator; BackendFluid/BackendAnalytic curves run no simulation and
+// can therefore sweep N far beyond what events can reach.
 type Curve struct {
 	Name        string
 	Figure      string // which figure of the source paper this reproduces
 	Description string
 	grid        func(Params) sweep.Grid
+	backend     busnet.Backend
 }
 
 // CurveResult is one executed curve in the report.
 type CurveResult struct {
-	Name        string       `json:"name"`
-	Figure      string       `json:"figure"`
-	Description string       `json:"description"`
-	Result      sweep.Result `json:"result"`
+	Name        string         `json:"name"`
+	Figure      string         `json:"figure"`
+	Description string         `json:"description"`
+	Backend     busnet.Backend `json:"backend"`
+	Result      sweep.Result   `json:"result"`
 }
 
 // Scenario is a named bundle of curves runnable from the CLI.
@@ -74,10 +79,15 @@ func (s Scenario) Points(p Params) (int, error) {
 func (s Scenario) Run(p Params) ([]CurveResult, error) {
 	out := make([]CurveResult, 0, len(s.Curves))
 	for _, c := range s.Curves {
+		backend, err := busnet.ParseBackend(string(c.backend))
+		if err != nil {
+			return nil, fmt.Errorf("curve %s: %w", c.Name, err)
+		}
 		res, err := sweep.Run(sweep.Spec{
 			Grid:         c.grid(p),
 			Replications: p.Replications,
 			Workers:      p.Workers,
+			Backend:      backend,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("curve %s: %w", c.Name, err)
@@ -86,6 +96,7 @@ func (s Scenario) Run(p Params) ([]CurveResult, error) {
 			Name:        c.Name,
 			Figure:      c.Figure,
 			Description: c.Description,
+			Backend:     backend,
 			Result:      res,
 		})
 	}
@@ -303,13 +314,16 @@ const (
 )
 
 // serviceBase is the shared operating point of the service curves:
-// N=16 buffered-infinite at ρ=0.8, Poisson arrivals, μ=1.
+// N=16 buffered-infinite at ρ=0.8, Poisson arrivals, μ=1. Quantile
+// histograms are on — these are the curves whose whole point is the
+// p50/p95/p99 tail spread (collection is opt-in elsewhere).
 func serviceBase(p Params) busnet.Config {
 	base := p.base()
 	base.Mode = busnet.ModeBuffered
 	base.BufferCap = busnet.Infinite
 	base.Processors = serviceProcessors
 	base.ThinkRate = serviceRho / float64(serviceProcessors)
+	base.Quantiles = true
 	return base
 }
 
@@ -361,6 +375,68 @@ var (
 				services = append(services, busnet.HyperexpService(c2))
 			}
 			return sweep.Grid{Base: serviceBase(p), Services: services}
+		},
+	}
+)
+
+// Fluid-backend curves: the large-N axis no event-driven engine can
+// reach. The mean-field model is asymptotically exact as N → ∞, so the
+// family pairs the headline large-N saturation curve with its two
+// validation curves — against the DES at feasible N and against the
+// exact closed forms where those exist.
+var (
+	curveFluidLargeN = Curve{
+		Name:   "fluid-large-n",
+		Figure: "throughput saturation and blocked fraction vs N, fluid backend",
+		Description: "Mean-field machine repairman on a 4-bus fabric at λ=0.1, μ=1: N swept " +
+			"100 … 10⁶ across the saturation knee Nλ = mμ — six decades of stations, no events",
+		backend: busnet.BackendFluid,
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeUnbuffered
+			base.ThinkRate = 0.1
+			base.Buses = 4
+			return sweep.Grid{
+				Base:       base,
+				Processors: []int{10, 20, 40, 100, 1_000, 10_000, 100_000, 1_000_000},
+			}
+		},
+	}
+	curveFluidVsDES = Curve{
+		Name:   "fluid-vs-des",
+		Figure: "fluid-vs-simulation convergence as N grows",
+		Description: "Simulated unbuffered points at N ∈ {64, 256, 1024} (λ=0.1, m=4) with " +
+			"the fluid overlay riding along: the mean-field gap vs the simulated truth " +
+			"closes as N grows",
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeUnbuffered
+			base.ThinkRate = 0.1
+			base.Buses = 4
+			return sweep.Grid{
+				Base:       base,
+				Processors: []int{64, 256, 1024},
+			}
+		},
+	}
+	curveFluidVsExact = Curve{
+		Name:   "fluid-vs-exact",
+		Figure: "fluid vs exact closed forms, machine repairman and finite buffers",
+		Description: "Fluid backend with the exact overlays riding along: unbuffered " +
+			"M/M/4//N at N ∈ {256, 1024, 4096} (the O(1/N) gap in one artifact) and the " +
+			"same fabric with 4-deep interface buffers",
+		backend: busnet.BackendFluid,
+		grid: func(p Params) sweep.Grid {
+			base := p.base()
+			base.Mode = busnet.ModeUnbuffered
+			base.ThinkRate = 0.1
+			base.Buses = 4
+			return sweep.Grid{
+				Base:       base,
+				Processors: []int{256, 1024, 4096},
+				Modes:      []string{busnet.ModeUnbuffered, busnet.ModeBuffered},
+				BufferCaps: []int{4},
+			}
 		},
 	}
 )
@@ -426,6 +502,15 @@ var registry = map[string]Scenario{
 	"service-shapes": single(curveServiceShapes),
 	"md1-vs-load":    single(curveMD1VsLoad),
 	"hyperexp-scv":   single(curveHyperexpSCV),
+	"fluid-curves": {
+		Name: "fluid-curves",
+		Description: "Mean-field fluid backend: large-N throughput saturation out to N = 10⁶, " +
+			"fluid-vs-DES convergence at feasible N, and fluid-vs-exact closed-form agreement",
+		Curves: []Curve{curveFluidLargeN, curveFluidVsDES, curveFluidVsExact},
+	},
+	"fluid-large-n":  single(curveFluidLargeN),
+	"fluid-vs-des":   single(curveFluidVsDES),
+	"fluid-vs-exact": single(curveFluidVsExact),
 	"weighted-arbiter": single(Curve{
 		Name:   "weighted-arbiter",
 		Figure: "weighted round-robin grant shares under saturation",

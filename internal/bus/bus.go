@@ -77,6 +77,13 @@ type Config struct {
 	// expected to have mean 1/ServiceRate (servdist builds them that way)
 	// so ServiceRate remains the load knob and the dist only the shape.
 	Service servdist.Dist
+	// Quantiles enables the per-observation wait/response histograms
+	// behind Metrics.WaitHist/RespHist. Off by default: the two
+	// Histogram.Add calls sit on the dispatch and completion hot paths,
+	// and runs that only consume the scalar summaries shouldn't pay for
+	// distributions they never read. Histograms draw nothing from the
+	// RNG, so toggling this never changes a run's event trajectory.
+	Quantiles bool
 }
 
 // buses resolves the configured bus count: 0 means the single-bus
@@ -150,8 +157,8 @@ type Network struct {
 	qlen        sim.TimeWeighted   // total waiting requests, excluding those in service
 	wait        sim.Tally          // issue → service start
 	resp        sim.Tally          // issue → completion
-	waitHist    sim.Histogram      // wait distribution (quantiles), merged across replications upstream
-	respHist    sim.Histogram      // response distribution (quantiles)
+	waitHist    *sim.Histogram     // wait distribution, merged across replications upstream; nil unless cfg.Quantiles
+	respHist    *sim.Histogram     // response distribution; nil unless cfg.Quantiles
 	issued      uint64
 	completions uint64
 	grants      []uint64 // bus grants per processor, for fairness analysis
@@ -199,6 +206,10 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 			return nil, err
 		}
 		n.service = d
+	}
+	if cfg.Quantiles {
+		n.waitHist = new(sim.Histogram)
+		n.respHist = new(sim.Histogram)
 	}
 	for i := range n.stalled {
 		n.stalled[i] = math.NaN()
@@ -288,7 +299,9 @@ func (n *Network) tryDispatch() {
 		n.qlen.Set(float64(n.queued), now)
 		n.grants[j]++
 		n.wait.Add(now - issuedAt)
-		n.waitHist.Add(now - issuedAt)
+		if n.waitHist != nil {
+			n.waitHist.Add(now - issuedAt)
+		}
 
 		// Popping freed a slot at interface j; admit a stalled request.
 		if !math.IsNaN(n.stalled[j]) {
@@ -311,7 +324,9 @@ func (n *Network) tryDispatch() {
 func (n *Network) complete(b int) {
 	now := n.eng.Now()
 	n.resp.Add(now - n.servIssued[b])
-	n.respHist.Add(now - n.servIssued[b])
+	if n.respHist != nil {
+		n.respHist.Add(now - n.servIssued[b])
+	}
 	n.completions++
 	released := n.serving[b]
 	n.serving[b] = -1
@@ -333,8 +348,12 @@ func (n *Network) ResetStats() {
 	n.statsStart = now
 	n.wait.Reset()
 	n.resp.Reset()
-	n.waitHist.Reset()
-	n.respHist.Reset()
+	if n.waitHist != nil {
+		n.waitHist.Reset()
+	}
+	if n.respHist != nil {
+		n.respHist.Reset()
+	}
 	n.issued = 0
 	n.completions = 0
 	for i := range n.grants {
@@ -373,7 +392,7 @@ type Metrics struct {
 	// WaitHist and RespHist are snapshot copies of the per-observation
 	// latency histograms — the quantile/merging layer above reads them.
 	// They are collectors, not summary scalars, so they stay out of the
-	// JSON form.
+	// JSON form; both are nil unless Config.Quantiles enabled collection.
 	WaitHist *sim.Histogram `json:"-"`
 	RespHist *sim.Histogram `json:"-"`
 }
@@ -393,8 +412,12 @@ func (n *Network) Snapshot() Metrics {
 		bu.Finish(now)
 		perBus[b] = bu.Average(elapsed)
 	}
-	waitHist := n.waitHist
-	respHist := n.respHist
+	var waitHist, respHist *sim.Histogram
+	if n.waitHist != nil {
+		wh := *n.waitHist
+		rh := *n.respHist
+		waitHist, respHist = &wh, &rh
+	}
 	m := Metrics{
 		Elapsed:        elapsed,
 		Utilization:    util.Average(elapsed),
@@ -408,8 +431,8 @@ func (n *Network) Snapshot() Metrics {
 		Issued:         n.issued,
 		Completions:    n.completions,
 		Grants:         append([]uint64(nil), n.grants...),
-		WaitHist:       &waitHist,
-		RespHist:       &respHist,
+		WaitHist:       waitHist,
+		RespHist:       respHist,
 	}
 	if elapsed > 0 {
 		m.Throughput = float64(n.completions) / elapsed

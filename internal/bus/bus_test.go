@@ -493,7 +493,8 @@ func TestServiceDistributionShapesServiceTimes(t *testing.T) {
 	cfg := Config{
 		Processors: 4, ThinkRate: 0.1, ServiceRate: 1,
 		Mode: Buffered, BufferCap: Infinite, Arbiter: NewRoundRobin(),
-		Service: mustDist(servdist.Spec{Kind: servdist.KindDeterministic}),
+		Service:   mustDist(servdist.Spec{Kind: servdist.KindDeterministic}),
+		Quantiles: true,
 	}
 	n, eng := newTestNetwork(t, cfg, 31)
 	n.Start()

@@ -1,0 +1,243 @@
+// Package fluid is the mean-field/ODE backend: it predicts the
+// steady-state behavior of the bus network by tracking occupancy
+// *fractions* of the station population instead of individual stations,
+// so its cost is O(1) in the number of processors N — curves at
+// N = 10⁶ cost microseconds where discrete-event simulation would cost
+// millions of events. The mean-field equations are asymptotically exact
+// as N → ∞ (errors shrink like O(1/N) away from critical loads); see
+// docs/fluid.md for the derivation and the domain of validity.
+//
+// The package has two layers: a generic adaptive Runge–Kutta 4(5)
+// integrator (RK45, Relax) for driving any occupancy ODE to its fixed
+// point, and the two queueing models themselves (Unbuffered,
+// BufferedFinite), which solve their stationary balance directly in
+// closed form — the production path — with the ODE form (UnbufferedODE,
+// BufferedODE) exposed so tests can verify that relaxing the dynamics
+// reaches the same equilibrium.
+package fluid
+
+import (
+	"fmt"
+	"math"
+)
+
+// ODE is a vector field dy/dt = f(t, y): it writes the derivative of y
+// at time t into dydt (len(dydt) == len(y), preallocated by the caller).
+type ODE func(t float64, y, dydt []float64)
+
+// RKOptions tunes the adaptive integrator. Zero values select the
+// defaults noted on each field.
+type RKOptions struct {
+	RelTol   float64 // per-step relative error target; default 1e-8
+	AbsTol   float64 // per-step absolute error floor; default 1e-10
+	InitStep float64 // first trial step; default (t1-t0)/100
+	MaxStep  float64 // step-size ceiling; default t1-t0 (no ceiling)
+	MaxSteps int     // accepted-step budget before erroring; default 1e6
+}
+
+func (o RKOptions) withDefaults(span float64) RKOptions {
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-8
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-10
+	}
+	if o.InitStep <= 0 {
+		o.InitStep = span / 100
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = span
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 1_000_000
+	}
+	return o
+}
+
+// RKStats reports what one integration cost: accepted steps, rejected
+// (error-controlled) step attempts, and derivative evaluations. Stiff
+// problems show up as a large Rejected count relative to Steps — the
+// error controller shrinking the step until the fast transient is
+// resolved.
+type RKStats struct {
+	Steps    int
+	Rejected int
+	Evals    int
+}
+
+// Dormand–Prince 4(5) tableau: six function stages advance a 5th-order
+// solution, and the embedded 4th-order weights (e below, as the
+// difference b5 − b4) give a free per-step error estimate.
+var (
+	dpC = [6]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1}
+	dpA = [6][5]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+	}
+	dpB = [6]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84}
+	// dpE = b(5th) − b(4th), including the 7th (FSAL) stage's weight: the
+	// error estimate needs f at the proposed end point, which is also the
+	// first stage of the next step.
+	dpE = [7]float64{71.0 / 57600, 0, -71.0 / 16695, 71.0 / 1920, -17253.0 / 339200, 22.0 / 525, -1.0 / 40}
+)
+
+// RK45 integrates dy/dt = f(t, y) from (t0, y0) to t1 with the
+// Dormand–Prince adaptive 4(5) pair and returns y(t1). The step size is
+// controlled so the embedded error estimate stays under
+// AbsTol + RelTol·|y| componentwise (RMS norm); steps that miss the
+// target are rejected and retried smaller, which RKStats.Rejected
+// counts. y0 is not modified. It errors when the configuration is
+// degenerate (t1 < t0, empty state) or the step budget runs out before
+// t1 — the signature of an unstably stiff problem for an explicit
+// method.
+func RK45(f ODE, t0 float64, y0 []float64, t1 float64, opt RKOptions) ([]float64, RKStats, error) {
+	var stats RKStats
+	if len(y0) == 0 {
+		return nil, stats, fmt.Errorf("fluid: empty state vector")
+	}
+	if math.IsNaN(t0) || math.IsNaN(t1) || t1 < t0 {
+		return nil, stats, fmt.Errorf("fluid: bad time span [%v, %v]", t0, t1)
+	}
+	n := len(y0)
+	y := append([]float64(nil), y0...)
+	if t1 == t0 {
+		return y, stats, nil
+	}
+	opt = opt.withDefaults(t1 - t0)
+
+	var k [7][]float64
+	for i := range k {
+		k[i] = make([]float64, n)
+	}
+	ytmp := make([]float64, n)
+	ynew := make([]float64, n)
+
+	t := t0
+	h := math.Min(opt.InitStep, opt.MaxStep)
+	f(t, y, k[0]) // first stage; FSAL reuses the last stage afterwards
+	stats.Evals++
+	for t < t1 {
+		if stats.Steps >= opt.MaxSteps {
+			return nil, stats, fmt.Errorf(
+				"fluid: RK45 exceeded %d steps at t = %g of %g (stiff system?)", opt.MaxSteps, t, t1)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		// Stages 2..6 (k[0] carried in), then the FSAL stage at the
+		// proposed end point.
+		for s := 1; s < 6; s++ {
+			for i := 0; i < n; i++ {
+				acc := y[i]
+				for j := 0; j < s; j++ {
+					acc += h * dpA[s][j] * k[j][i]
+				}
+				ytmp[i] = acc
+			}
+			f(t+dpC[s]*h, ytmp, k[s])
+			stats.Evals++
+		}
+		for i := 0; i < n; i++ {
+			acc := y[i]
+			for s := 0; s < 6; s++ {
+				acc += h * dpB[s] * k[s][i]
+			}
+			ynew[i] = acc
+		}
+		f(t+h, ynew, k[6])
+		stats.Evals++
+
+		// RMS of the componentwise error over its tolerance.
+		var errNorm float64
+		for i := 0; i < n; i++ {
+			var e float64
+			for s := 0; s < 7; s++ {
+				e += h * dpE[s] * k[s][i]
+			}
+			sc := opt.AbsTol + opt.RelTol*math.Max(math.Abs(y[i]), math.Abs(ynew[i]))
+			errNorm += (e / sc) * (e / sc)
+		}
+		errNorm = math.Sqrt(errNorm / float64(n))
+
+		if errNorm <= 1 {
+			t += h
+			copy(y, ynew)
+			copy(k[0], k[6]) // FSAL: the end-point stage starts the next step
+			stats.Steps++
+		} else {
+			stats.Rejected++
+		}
+		// Standard controller: target safety 0.9, growth clamped to
+		// [0.2, 5] so one noisy estimate cannot explode or stall the step.
+		scale := 0.9 * math.Pow(errNorm, -0.2)
+		h *= math.Min(5, math.Max(0.2, scale))
+		h = math.Min(h, opt.MaxStep)
+		if h <= 0 || t+h == t {
+			return nil, stats, fmt.Errorf("fluid: RK45 step underflow at t = %g", t)
+		}
+	}
+	return y, stats, nil
+}
+
+// Relax drives dy/dt = f(t, y) from y0 to its fixed point: it
+// integrates over windows of doubling length until ‖f(y)‖∞ falls under
+// tol·(1 + ‖y‖∞), or errors after maxTime of simulated time without
+// settling. This is how the ODE form of the queueing models is checked
+// against their direct stationary solutions; the direct solvers are the
+// production path because near-saturated fabrics relax on the slow
+// O(N/μm) timescale, which an explicit method must resolve step by
+// step.
+func Relax(f ODE, y0 []float64, opt RKOptions, tol, maxTime float64) ([]float64, RKStats, error) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxTime <= 0 {
+		maxTime = 1e9
+	}
+	// The integrator must resolve the trajectory finer than the residual
+	// target: the adaptive controller keeps the per-step error near
+	// RelTol·|y|, which pins the achievable ‖f‖ floor at
+	// O(rate·RelTol·‖y‖) — so anything looser than tol/10 would stall
+	// above the convergence criterion forever.
+	if opt.RelTol <= 0 || opt.RelTol > tol/10 {
+		opt.RelTol = math.Max(tol/10, 1e-14)
+	}
+	if opt.AbsTol <= 0 || opt.AbsTol > tol/10 {
+		opt.AbsTol = math.Max(tol/10, 1e-14)
+	}
+	y := append([]float64(nil), y0...)
+	dy := make([]float64, len(y0))
+	var total RKStats
+	t := 0.0
+	// Windows double so slow modes are reachable, but are capped: an
+	// explicit method's steps are stability-limited near equilibrium, so
+	// an unbounded window would burn the step budget without getting the
+	// residual any lower than the window-start check already sees.
+	const maxWindow = 8192.0
+	for window := 1.0; t < maxTime; window = math.Min(window*2, maxWindow) {
+		f(t, y, dy)
+		total.Evals++
+		norm, scale := 0.0, 1.0
+		for i, v := range dy {
+			norm = math.Max(norm, math.Abs(v))
+			scale = math.Max(scale, math.Abs(y[i]))
+		}
+		if norm <= tol*scale {
+			return y, total, nil
+		}
+		next, stats, err := RK45(f, t, y, t+window, opt)
+		total.Steps += stats.Steps
+		total.Rejected += stats.Rejected
+		total.Evals += stats.Evals
+		if err != nil {
+			return nil, total, err
+		}
+		y = next
+		t += window
+	}
+	return nil, total, fmt.Errorf("fluid: no equilibrium within t = %g", maxTime)
+}

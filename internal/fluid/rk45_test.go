@@ -1,0 +1,141 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven accuracy tests on ODEs with known solutions, independent
+// of the queueing models: the integrator itself must hold its error
+// target before any mean-field result built on it can be trusted.
+func TestRK45KnownSolutions(t *testing.T) {
+	cases := []struct {
+		name  string
+		f     ODE
+		y0    []float64
+		t1    float64
+		exact func(t float64) []float64
+		tol   float64
+	}{
+		{
+			name:  "linear-decay",
+			f:     func(_ float64, y, dy []float64) { dy[0] = -y[0] },
+			y0:    []float64{1},
+			t1:    5,
+			exact: func(tt float64) []float64 { return []float64{math.Exp(-tt)} },
+			tol:   1e-7,
+		},
+		{
+			name: "logistic",
+			// y' = y(1−y), y(0) = 0.1: y(t) = 1/(1 + 9e^{−t}).
+			f:     func(_ float64, y, dy []float64) { dy[0] = y[0] * (1 - y[0]) },
+			y0:    []float64{0.1},
+			t1:    8,
+			exact: func(tt float64) []float64 { return []float64{1 / (1 + 9*math.Exp(-tt))} },
+			tol:   1e-7,
+		},
+		{
+			name: "harmonic-oscillator",
+			// y'' = −y as a 2-system: energy-preserving dynamics expose
+			// error accumulation that decaying systems hide.
+			f:  func(_ float64, y, dy []float64) { dy[0], dy[1] = y[1], -y[0] },
+			y0: []float64{1, 0},
+			t1: 2 * math.Pi,
+			exact: func(tt float64) []float64 {
+				return []float64{math.Cos(tt), -math.Sin(tt)}
+			},
+			tol: 1e-6,
+		},
+		{
+			name: "time-dependent",
+			// y' = 2t: exactness on polynomial fields checks the tableau's
+			// time offsets, not just the state combination.
+			f:     func(tt float64, _, dy []float64) { dy[0] = 2 * tt },
+			y0:    []float64{0},
+			t1:    3,
+			exact: func(tt float64) []float64 { return []float64{tt * tt} },
+			tol:   1e-9,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			y, stats, err := RK45(tc.f, 0, tc.y0, tc.t1, RKOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.exact(tc.t1)
+			for i := range y {
+				if math.Abs(y[i]-want[i]) > tc.tol {
+					t.Errorf("y[%d](%g) = %v, want %v (err %g > tol %g)",
+						i, tc.t1, y[i], want[i], math.Abs(y[i]-want[i]), tc.tol)
+				}
+			}
+			if stats.Steps == 0 || stats.Evals == 0 {
+				t.Errorf("stats not accounted: %+v", stats)
+			}
+		})
+	}
+}
+
+// A stiff problem must trigger the error controller: forcing a large
+// initial step onto y' = −200(y − cos t) has to produce rejected step
+// attempts while still landing on the slow manifold y ≈ cos t.
+func TestRK45StiffStepRejection(t *testing.T) {
+	f := func(tt float64, y, dy []float64) { dy[0] = -200 * (y[0] - math.Cos(tt)) }
+	y, stats, err := RK45(f, 0, []float64{2}, 3, RKOptions{InitStep: 1, MaxStep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rejected == 0 {
+		t.Errorf("no rejected steps on a stiff problem with a forced 1.0 initial step; stats %+v", stats)
+	}
+	// The exact solution decays onto cos t + (sin t)/200 + O(1/200²).
+	want := math.Cos(3.0) + math.Sin(3.0)/200
+	if math.Abs(y[0]-want) > 1e-4 {
+		t.Errorf("stiff solution y(3) = %v, want ≈ %v", y[0], want)
+	}
+	if stats.Steps >= (RKOptions{}).withDefaults(3).MaxSteps {
+		t.Errorf("step budget exhausted: %+v", stats)
+	}
+}
+
+// The step budget is a hard stop, not a hang.
+func TestRK45StepBudget(t *testing.T) {
+	f := func(_ float64, y, dy []float64) { dy[0] = -1e6 * y[0] }
+	if _, _, err := RK45(f, 0, []float64{1}, 1e6, RKOptions{MaxSteps: 10}); err == nil {
+		t.Fatal("want a step-budget error integrating a fast decay over a huge span with 10 steps")
+	}
+}
+
+func TestRK45DegenerateSpans(t *testing.T) {
+	f := func(_ float64, y, dy []float64) { dy[0] = 1 }
+	if _, _, err := RK45(f, 1, []float64{0}, 0, RKOptions{}); err == nil {
+		t.Error("t1 < t0 accepted")
+	}
+	if _, _, err := RK45(f, 0, nil, 1, RKOptions{}); err == nil {
+		t.Error("empty state accepted")
+	}
+	y, _, err := RK45(f, 2, []float64{7}, 2, RKOptions{})
+	if err != nil || y[0] != 7 {
+		t.Errorf("zero-span integration: y = %v, err = %v; want identity", y, err)
+	}
+}
+
+// Relax must find the fixed point of a contracting field and report
+// convergence against the ‖f‖ criterion, not a time heuristic.
+func TestRelaxFindsFixedPoint(t *testing.T) {
+	// y' = 3 − y: fixed point 3 from anywhere.
+	f := func(_ float64, y, dy []float64) { dy[0] = 3 - y[0] }
+	y, _, err := Relax(f, []float64{0}, RKOptions{}, 1e-10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-3) > 1e-8 {
+		t.Errorf("Relax fixed point = %v, want 3", y[0])
+	}
+	// A field with no fixed point must error out, not spin forever.
+	g := func(_ float64, y, dy []float64) { dy[0] = 1 }
+	if _, _, err := Relax(g, []float64{0}, RKOptions{}, 1e-10, 100); err == nil {
+		t.Error("Relax converged on a field with no fixed point")
+	}
+}

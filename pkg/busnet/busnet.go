@@ -54,12 +54,14 @@ type Quantiles struct {
 
 // QuantilesFrom reads the standard percentile set off a histogram — the
 // reduction used for Results and, after merging replications, for sweep
-// points. A nil or empty histogram yields all zeros.
-func QuantilesFrom(h *Histogram) Quantiles {
+// points. A nil histogram (collection disabled — see Config.Quantiles)
+// yields nil, so "not measured" stays distinguishable from a measured
+// all-zero distribution, mirroring the ci_undefined convention.
+func QuantilesFrom(h *Histogram) *Quantiles {
 	if h == nil {
-		return Quantiles{}
+		return nil
 	}
-	return Quantiles{
+	return &Quantiles{
 		P50: h.Quantile(0.50),
 		P90: h.Quantile(0.90),
 		P95: h.Quantile(0.95),
@@ -93,9 +95,11 @@ type Results struct {
 	// WaitQuantiles and ResponseQuantiles summarize the measured latency
 	// distributions (p50/p90/p95/p99); the full streaming histograms they
 	// were read from ride along unserialized so sweeps can merge
-	// replications and re-query pooled quantiles.
-	WaitQuantiles     Quantiles  `json:"wait_quantiles"`
-	ResponseQuantiles Quantiles  `json:"response_quantiles"`
+	// replications and re-query pooled quantiles. All four are nil unless
+	// Config.Quantiles (or WithQuantiles) enabled collection — absent
+	// from the JSON form rather than rendered as zero latencies.
+	WaitQuantiles     *Quantiles `json:"wait_quantiles,omitempty"`
+	ResponseQuantiles *Quantiles `json:"response_quantiles,omitempty"`
 	WaitHistogram     *Histogram `json:"-"`
 	ResponseHistogram *Histogram `json:"-"`
 	Grants            []uint64   `json:"grants"`
@@ -128,6 +132,15 @@ func New(opts ...Option) (*Network, error) {
 	return FromConfig(b.cfg)
 }
 
+// MaxSimProcessors bounds the population the discrete-event backend
+// will simulate: beyond it, per-station state (queues, stall slots,
+// grant counters) plus an event rate proportional to N make a run an
+// out-of-memory or multi-hour mistake rather than an experiment.
+// FromConfig refuses larger configs and points at the fluid backend,
+// whose cost is O(1) in N; FluidPredict and sweep fluid grids have no
+// such bound.
+const MaxSimProcessors = 10_000_000
+
 // FromConfig validates cfg and returns a runnable network. The config is
 // copied in: later mutation of the caller's value cannot affect the
 // network. Unlike New, no warmup defaulting happens — the config is
@@ -137,6 +150,11 @@ func FromConfig(cfg Config) (*Network, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Processors > MaxSimProcessors {
+		return nil, fmt.Errorf(
+			"busnet: %d processors exceeds the discrete-event backend's %d-station bound; use the fluid backend (FluidPredict, sweep Backend %q) for large-N curves",
+			cfg.Processors, MaxSimProcessors, BackendFluid)
 	}
 	return &Network{cfg: cfg}, nil
 }

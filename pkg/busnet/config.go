@@ -67,6 +67,14 @@ type Config struct {
 	Stream    uint64  `json:"stream"`
 	Horizon   float64 `json:"horizon"`
 	Warmup    float64 `json:"warmup"`
+	// Quantiles enables per-observation wait/response latency histograms,
+	// feeding Results.WaitQuantiles/ResponseQuantiles and the pooled
+	// sweep quantile columns. Off by default: the histogram updates sit
+	// on the simulation hot path (a measurable per-event tax), and most
+	// runs only read the scalar summaries. Toggling it never changes a
+	// run's event trajectory — histograms draw nothing from the RNG — so
+	// all other Results fields stay bit-identical either way.
+	Quantiles bool `json:"quantiles,omitempty"`
 }
 
 // Traffic describes the shape of every processor's request-generation
@@ -281,6 +289,13 @@ func (c Config) normalized() Config {
 	return c
 }
 
+// Normalized returns the config with empty Mode/Arbiter/Traffic/Service
+// strings and zero Buses filled with their canonical defaults — the
+// exact value a Network built from c would echo from Config(). Useful
+// for comparing configs from different sources (literals, JSON, CLI
+// flags) that mean the same operating point.
+func (c Config) Normalized() Config { return c.normalized() }
+
 // MeanThinkRate returns the long-run per-processor request rate the
 // configured traffic generates — ThinkRate for poisson and
 // deterministic shapes, the stationary modulated rate for MMPP2 and
@@ -350,6 +365,7 @@ func (c Config) busConfig() bus.Config {
 		BufferCap:   c.BufferCap,
 		Sources:     c.sources(),
 		Service:     c.serviceDist(),
+		Quantiles:   c.Quantiles,
 	}
 	switch kind {
 	case FixedPriority:

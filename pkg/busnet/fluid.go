@@ -1,0 +1,113 @@
+package busnet
+
+import (
+	"fmt"
+
+	"github.com/busnet/busnet/internal/fluid"
+)
+
+// Backend names one of the three ways the repo can evaluate an
+// operating point: discrete-event simulation ("sim", the default —
+// exact dynamics, cost O(events)), the exact/approximate closed forms
+// ("analytic" — Predict's domain), or the mean-field fluid solver
+// ("fluid" — FluidPredict's domain, cost O(1) in the number of
+// processors, asymptotically exact as N → ∞). The sweep subpackage and
+// the CLI select backends by this name.
+type Backend string
+
+const (
+	// BackendSim is the discrete-event simulator — the ground truth at
+	// any N it can feasibly run (see MaxSimProcessors).
+	BackendSim Backend = "sim"
+	// BackendAnalytic evaluates Predict's closed forms, no simulation.
+	BackendAnalytic Backend = "analytic"
+	// BackendFluid evaluates FluidPredict's mean-field model, no
+	// simulation — the only backend whose cost is O(1) in N.
+	BackendFluid Backend = "fluid"
+)
+
+// ParseBackend maps a backend name to its Backend; the empty string
+// parses as BackendSim so zero-valued specs keep today's behavior.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "", BackendSim:
+		return BackendSim, nil
+	case BackendAnalytic:
+		return BackendAnalytic, nil
+	case BackendFluid:
+		return BackendFluid, nil
+	default:
+		return "", fmt.Errorf("busnet: unknown backend %q (want %q, %q, or %q)",
+			s, BackendSim, BackendAnalytic, BackendFluid)
+	}
+}
+
+// FluidPrediction re-exports the fluid package's mean-field quantities
+// so callers never import internal packages. Alongside the fields
+// shared with Prediction it reports Blocked, the stationary fraction of
+// stations blocked at the fabric (unbuffered) or stalled at a full
+// interface (buffered-finite).
+type FluidPrediction = fluid.Prediction
+
+// FluidPredict returns the mean-field (fluid-limit) steady-state
+// prediction for cfg: occupancy fractions of the station population
+// evolve by mass-balance ODEs whose cost is O(1) in Processors, so
+// curves at N = 10⁶ cost microseconds where simulation would cost
+// millions of events. The model is asymptotically exact as N → ∞ with
+// the per-station capacity m/N held fixed — errors shrink like O(1/N)
+// away from the critical load, O(1/√N) at it; see docs/fluid.md for the
+// derivation and a worked fluid-vs-DES example.
+//
+// Its domain is validated exactly like Predict's: the mean-field
+// balance assumes Poisson arrivals and exponential service, and the
+// symmetric capacity-splitting drain term models an arbiter that treats
+// stations identically — so non-Poisson traffic, non-exponential
+// service, the fixed-priority arbiter, and weighted round-robin with
+// non-uniform weights are all refused rather than silently mismodeled.
+// Buffered mode requires a finite BufferCap: an infinite buffer has no
+// finite occupancy state space, and its stable regime is already
+// covered exactly by Predict's Erlang-C forms.
+func FluidPredict(cfg Config) (FluidPrediction, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return FluidPrediction{}, err
+	}
+	if kind := cfg.Traffic.Kind; kind != TrafficPoisson {
+		return FluidPrediction{}, fmt.Errorf("busnet: no fluid model for %s traffic — the mean-field balance assumes Poisson arrivals", kind)
+	}
+	if kind := cfg.Service.Kind; kind != ServiceExponential {
+		return FluidPrediction{}, fmt.Errorf("busnet: no fluid model for %s service — the mean-field drain assumes exponential service", kind)
+	}
+	arb, _ := ParseArbiter(cfg.Arbiter)
+	switch arb {
+	case FixedPriority:
+		return FluidPrediction{}, fmt.Errorf("busnet: no fluid model for the fixed-priority arbiter — the mean-field drain splits capacity symmetrically across stations")
+	case WeightedRoundRobin:
+		if ws, _ := ParseWeights(cfg.Weights); !uniformWeights(ws) {
+			return FluidPrediction{}, fmt.Errorf("busnet: no fluid model for non-uniform weighted-round-robin weights %q — the mean-field drain splits capacity symmetrically across stations", cfg.Weights)
+		}
+	}
+	if cfg.Mode == ModeBuffered {
+		if cfg.BufferCap == Infinite {
+			return FluidPrediction{}, fmt.Errorf("busnet: no fluid model for infinite buffers — use Predict's M/M/m (Erlang-C) form, which is exact there")
+		}
+		return fluid.BufferedFinite(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate, cfg.BufferCap)
+	}
+	return fluid.Unbuffered(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate)
+}
+
+// uniformWeights reports whether a parsed weight vector is equivalent
+// to all-ones round robin (nil or all entries equal): the only
+// weighted-round-robin configuration the symmetric fluid drain models.
+func uniformWeights(ws []int) bool {
+	for _, w := range ws {
+		if w != ws[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// FluidPredict returns the mean-field prediction for this network's
+// configuration; see the package-level FluidPredict.
+func (n *Network) FluidPredict() (FluidPrediction, error) { return FluidPredict(n.cfg) }

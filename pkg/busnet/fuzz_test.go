@@ -22,9 +22,15 @@ func FuzzConfigValidate(f *testing.F) {
 			cfg.Traffic.Switch01, cfg.Traffic.Switch10,
 			cfg.Traffic.BurstRate, cfg.Traffic.DutyCycle, cfg.Traffic.CycleTime,
 			cfg.Service.Kind, cfg.Service.Shape, cfg.Service.SCV,
-			cfg.Horizon, cfg.Warmup)
+			cfg.Horizon, cfg.Warmup, cfg.Quantiles)
 	}
 	seed(DefaultConfig())
+	fluidish := DefaultConfig()
+	fluidish.Processors = 256
+	fluidish.Buses = 4
+	fluidish.ThinkRate = 0.1
+	fluidish.Quantiles = true
+	seed(fluidish)
 	bursty := DefaultConfig()
 	bursty.Mode = ModeBuffered
 	bursty.BufferCap = 4
@@ -51,7 +57,7 @@ func FuzzConfigValidate(f *testing.F) {
 		mode string, bufferCap int, arbiter, weights, kind string,
 		rate0, rate1, sw01, sw10, burst, duty, cycle float64,
 		svcKind string, svcShape int, svcSCV float64,
-		horizon, warmup float64) {
+		horizon, warmup float64, quantiles bool) {
 		cfg := Config{
 			Processors:  processors,
 			Buses:       buses,
@@ -64,10 +70,11 @@ func FuzzConfigValidate(f *testing.F) {
 			Traffic: Traffic{Kind: kind, Rate0: rate0, Rate1: rate1,
 				Switch01: sw01, Switch10: sw10,
 				BurstRate: burst, DutyCycle: duty, CycleTime: cycle},
-			Service: Service{Kind: svcKind, Shape: svcShape, SCV: svcSCV},
-			Seed:    1,
-			Horizon: horizon,
-			Warmup:  warmup,
+			Service:   Service{Kind: svcKind, Shape: svcShape, SCV: svcSCV},
+			Seed:      1,
+			Horizon:   horizon,
+			Warmup:    warmup,
+			Quantiles: quantiles,
 		}
 		if cfg.Processors > 1<<12 || cfg.BufferCap > 1<<12 || cfg.Buses > 1<<12 ||
 			len(cfg.Weights) > 1<<12 {
@@ -95,16 +102,27 @@ func FuzzConfigValidate(f *testing.F) {
 		if err := back.Validate(); err != nil {
 			t.Fatalf("round-tripped config no longer validates: %v\n%s", err, blob)
 		}
-		pred, err := Predict(canon)
-		if err != nil {
-			return // no closed form (non-Poisson, unstable): a clean refusal
+		if pred, err := Predict(canon); err == nil {
+			for name, v := range map[string]float64{
+				"utilization": pred.Utilization, "throughput": pred.Throughput,
+				"mean_wait": pred.MeanWait, "mean_queue_len": pred.MeanQueueLen,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("Predict returned non-finite %s = %v for valid config %+v", name, v, canon)
+				}
+			}
 		}
-		for name, v := range map[string]float64{
-			"utilization": pred.Utilization, "throughput": pred.Throughput,
-			"mean_wait": pred.MeanWait, "mean_queue_len": pred.MeanQueueLen,
-		} {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				t.Fatalf("Predict returned non-finite %s = %v for valid config %+v", name, v, canon)
+		// The fluid backend holds to the same contract: refuse cleanly
+		// outside its domain, never emit a non-finite number inside it.
+		if fp, err := FluidPredict(canon); err == nil {
+			for name, v := range map[string]float64{
+				"utilization": fp.Utilization, "throughput": fp.Throughput,
+				"mean_wait": fp.MeanWait, "mean_queue_len": fp.MeanQueueLen,
+				"blocked": fp.Blocked,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("FluidPredict returned non-finite %s = %v for valid config %+v", name, v, canon)
+				}
 			}
 		}
 	})

@@ -123,6 +123,13 @@ func WithWeights(weights ...int) Option {
 // source paper's model.
 func WithTraffic(t Traffic) Option { return func(b *builder) { b.cfg.Traffic = t } }
 
+// WithQuantiles enables per-observation wait/response latency
+// histograms, feeding Results.WaitQuantiles/ResponseQuantiles (nil
+// without it). Off by default — the histogram updates are a measurable
+// per-event tax on the simulation hot path. Enabling it never changes
+// the run's event trajectory: histograms draw nothing from the RNG.
+func WithQuantiles() Option { return func(b *builder) { b.cfg.Quantiles = true } }
+
 // WithSeed sets the RNG seed. Runs with equal configuration and seed
 // produce identical Results.
 func WithSeed(seed int64) Option { return func(b *builder) { b.cfg.Seed = seed } }

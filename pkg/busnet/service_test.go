@@ -185,6 +185,7 @@ func TestRunReportsLatencyQuantiles(t *testing.T) {
 	cfg.Processors = 16
 	cfg.ThinkRate = 0.05
 	cfg.Service = DeterministicService()
+	cfg.Quantiles = true
 	res, err := runCfg(t, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -38,26 +38,44 @@ type Spec struct {
 	// KeepRuns retains every replication's full Results in the point
 	// (large output; off by default).
 	KeepRuns bool `json:"keep_runs,omitempty"`
+	// Backend selects how points are evaluated. BackendSim (the default)
+	// simulates every (point, replication) job as always. BackendFluid
+	// and BackendAnalytic run no simulation at all: each point is
+	// evaluated by busnet.FluidPredict or busnet.Predict directly, its
+	// Stats carry the model's point estimates (CIUndefined, zero
+	// replications — there is no sampling variability to summarize), and
+	// a grid at N = 10⁶ reduces in milliseconds. A predictor refusing any
+	// point (outside its domain, or no steady state) fails the sweep —
+	// prefer an explicit error over a silently missing curve segment.
+	Backend busnet.Backend `json:"backend,omitempty"`
 }
 
 // PointResult is one grid point reduced across its replications.
 // Analytic is nil when no steady state exists (e.g. infinite buffers at
 // offered load ≥ 1).
 type PointResult struct {
-	Config       busnet.Config      `json:"config"`
-	Analytic     *busnet.Prediction `json:"analytic,omitempty"`
-	Utilization  Stat               `json:"utilization"`
-	Throughput   Stat               `json:"throughput"`
-	MeanWait     Stat               `json:"mean_wait"`
-	MeanQueueLen Stat               `json:"mean_queue_len"`
-	MeanResponse Stat               `json:"mean_response"`
+	Config   busnet.Config      `json:"config"`
+	Analytic *busnet.Prediction `json:"analytic,omitempty"`
+	// Fluid is the mean-field overlay next to the analytic one: attached
+	// to simulated points whenever busnet.FluidPredict accepts the
+	// config, and the primary output of BackendFluid sweeps. Nil outside
+	// the fluid model's domain.
+	Fluid        *busnet.FluidPrediction `json:"fluid,omitempty"`
+	Utilization  Stat                    `json:"utilization"`
+	Throughput   Stat                    `json:"throughput"`
+	MeanWait     Stat                    `json:"mean_wait"`
+	MeanQueueLen Stat                    `json:"mean_queue_len"`
+	MeanResponse Stat                    `json:"mean_response"`
 	// WaitQuantiles and ResponseQuantiles are pooled tail-latency
 	// percentiles: the per-replication streaming histograms are merged
 	// (bucket counts add losslessly) and the quantiles read off the
 	// pooled distribution, so every replication's samples weigh in —
-	// exactly what a per-replication mean of p99s would not give.
-	WaitQuantiles     busnet.Quantiles `json:"wait_quantiles"`
-	ResponseQuantiles busnet.Quantiles `json:"response_quantiles"`
+	// exactly what a per-replication mean of p99s would not give. Both
+	// are nil when histogram collection was disabled (Config.Quantiles
+	// off) or no simulation ran — absent from the JSON form rather than
+	// rendered as zero latencies, mirroring the ci_undefined convention.
+	WaitQuantiles     *busnet.Quantiles `json:"wait_quantiles,omitempty"`
+	ResponseQuantiles *busnet.Quantiles `json:"response_quantiles,omitempty"`
 	// Grants is the per-processor bus-grant count summed across the
 	// point's replications; its skew is the fairness/starvation signal
 	// arbiter comparisons read.
@@ -82,12 +100,19 @@ type Result struct {
 // never on scheduling. The first failing job (in job order) aborts the
 // sweep with its error.
 func Run(spec Spec) (Result, error) {
+	backend, err := busnet.ParseBackend(string(spec.Backend))
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: %w", err)
+	}
 	points, err := spec.Grid.Points()
 	if err != nil {
 		return Result{}, err
 	}
 	if len(points) == 0 {
 		return Result{}, fmt.Errorf("sweep: grid expanded to no points")
+	}
+	if backend != busnet.BackendSim {
+		return predictOnly(backend, points)
 	}
 	reps := spec.Replications
 	if reps <= 0 {
@@ -129,6 +154,52 @@ func Run(spec Spec) (Result, error) {
 	out := Result{Replications: reps, Points: make([]PointResult, len(points))}
 	for p, cfg := range points {
 		out.Points[p] = reduce(cfg, runs[p*reps:(p+1)*reps], spec.KeepRuns)
+	}
+	return out, nil
+}
+
+// predictOnly evaluates every grid point with the fluid or analytic
+// model — no simulation, no replications. Stats carry the model's point
+// estimates in the single-replication encoding (Lo = Hi = Mean,
+// CIUndefined): a deterministic model has no sampling variability, and
+// downstream CSV/JSON already renders undefined intervals as empty
+// cells. Result.Replications is 0 so consumers can tell a model curve
+// from even a one-replication simulation.
+func predictOnly(backend busnet.Backend, points []busnet.Config) (Result, error) {
+	point := func(x float64) Stat { return Stat{Mean: x, Lo: x, Hi: x, CIUndefined: true} }
+	out := Result{Points: make([]PointResult, len(points))}
+	for p, cfg := range points {
+		pr := PointResult{Config: cfg.Normalized()}
+		switch backend {
+		case busnet.BackendFluid:
+			fp, err := busnet.FluidPredict(cfg)
+			if err != nil {
+				return Result{}, fmt.Errorf("sweep: fluid backend, point %d: %w", p, err)
+			}
+			pr.Fluid = &fp
+			pr.Utilization = point(fp.Utilization)
+			pr.Throughput = point(fp.Throughput)
+			pr.MeanWait = point(fp.MeanWait)
+			pr.MeanQueueLen = point(fp.MeanQueueLen)
+			pr.MeanResponse = point(fp.MeanResponse)
+			// The exact closed form rides along where it exists, so
+			// fluid-vs-exact gaps are visible in one artifact.
+			if pred, err := busnet.Predict(cfg); err == nil {
+				pr.Analytic = &pred
+			}
+		case busnet.BackendAnalytic:
+			pred, err := busnet.Predict(cfg)
+			if err != nil {
+				return Result{}, fmt.Errorf("sweep: analytic backend, point %d: %w", p, err)
+			}
+			pr.Analytic = &pred
+			pr.Utilization = point(pred.Utilization)
+			pr.Throughput = point(pred.Throughput)
+			pr.MeanWait = point(pred.MeanWait)
+			pr.MeanQueueLen = point(pred.MeanQueueLen)
+			pr.MeanResponse = point(pred.MeanResponse)
+		}
+		out.Points[p] = pr
 	}
 	return out, nil
 }
@@ -182,15 +253,23 @@ func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
 			pr.Grants[i] += g
 		}
 	}
-	var waitHist, respHist busnet.Histogram
-	for _, r := range runs {
-		waitHist.Merge(r.WaitHistogram)
-		respHist.Merge(r.ResponseHistogram)
+	// Pool latency histograms only when the runs collected them
+	// (Config.Quantiles): the quantile fields stay nil otherwise, so the
+	// output says "not measured", not "all-zero latencies".
+	if runs[0].WaitHistogram != nil {
+		var waitHist, respHist busnet.Histogram
+		for _, r := range runs {
+			waitHist.Merge(r.WaitHistogram)
+			respHist.Merge(r.ResponseHistogram)
+		}
+		pr.WaitQuantiles = busnet.QuantilesFrom(&waitHist)
+		pr.ResponseQuantiles = busnet.QuantilesFrom(&respHist)
 	}
-	pr.WaitQuantiles = busnet.QuantilesFrom(&waitHist)
-	pr.ResponseQuantiles = busnet.QuantilesFrom(&respHist)
 	if pred, err := busnet.Predict(cfg); err == nil {
 		pr.Analytic = &pred
+	}
+	if fp, err := busnet.FluidPredict(cfg); err == nil {
+		pr.Fluid = &fp
 	}
 	if keep {
 		pr.Runs = runs

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/busnet/busnet/pkg/busnet"
 )
@@ -472,6 +474,7 @@ func TestPointQuantilesPooledAcrossReplications(t *testing.T) {
 	base.BufferCap = busnet.Infinite
 	base.Processors = 16
 	base.ThinkRate = 0.05
+	base.Quantiles = true
 	res, err := Run(Spec{
 		Grid: Grid{
 			Base: base,
@@ -502,5 +505,151 @@ func TestPointQuantilesPooledAcrossReplications(t *testing.T) {
 	if !(h2.WaitQuantiles.P99 > det.WaitQuantiles.P99) {
 		t.Errorf("hyperexp p99 %v not above deterministic p99 %v",
 			h2.WaitQuantiles.P99, det.WaitQuantiles.P99)
+	}
+}
+
+// The fluid backend's headline act: a grid reaching N = 10⁶ stations
+// evaluates in milliseconds because no events are simulated at all —
+// each point is one O(1)-in-N stationary solve.
+func TestFluidBackendSweepMillionStations(t *testing.T) {
+	base := testBase()
+	base.ThinkRate = 0.1
+	base.Buses = 4
+	g := Grid{
+		Base:       base,
+		Processors: []int{100, 10_000, 1_000_000},
+		Modes:      []string{busnet.ModeUnbuffered, busnet.ModeBuffered},
+		BufferCaps: []int{4},
+	}
+
+	start := time.Now()
+	res, err := Run(Spec{Grid: g, Backend: busnet.BackendFluid})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perPoint := elapsed / time.Duration(len(res.Points)); perPoint > 50*time.Millisecond {
+		t.Errorf("fluid sweep took %v per point, want < 50ms", perPoint)
+	}
+	if res.Replications != 0 {
+		t.Fatalf("model sweep reports %d replications, want 0", res.Replications)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("got %d points, want 6", len(res.Points))
+	}
+	for i, pt := range res.Points {
+		if pt.Fluid == nil {
+			t.Fatalf("point %d: no fluid prediction attached", i)
+		}
+		if pt.Utilization.Mean <= 0 || pt.Utilization.Mean != pt.Fluid.Utilization {
+			t.Errorf("point %d: stat mean %v disagrees with fluid prediction %v",
+				i, pt.Utilization.Mean, pt.Fluid.Utilization)
+		}
+		if !pt.MeanWait.CIUndefined || pt.MeanWait.CI95 != 0 {
+			t.Errorf("point %d: model point estimate claims a confidence interval", i)
+		}
+		if pt.WaitQuantiles != nil {
+			t.Errorf("point %d: quantiles attached to a run-free point", i)
+		}
+	}
+}
+
+func TestAnalyticBackendSweep(t *testing.T) {
+	g := Grid{Base: testBase(), Processors: []int{4, 16, 64}}
+	res, err := Run(Spec{Grid: g, Backend: busnet.BackendAnalytic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range res.Points {
+		if pt.Analytic == nil {
+			t.Fatalf("point %d: no analytic prediction", i)
+		}
+		if pt.Fluid != nil {
+			t.Errorf("point %d: analytic backend attached a fluid overlay", i)
+		}
+		if pt.Throughput.Mean != pt.Analytic.Throughput || !pt.Throughput.CIUndefined {
+			t.Errorf("point %d: stats not wired to the analytic prediction", i)
+		}
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	g := Grid{Base: testBase()}
+	if _, err := Run(Spec{Grid: g, Backend: "montecarlo"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// A fluid sweep with any out-of-domain point fails loudly instead of
+// producing a curve with silently missing segments.
+func TestFluidBackendRefusalPropagates(t *testing.T) {
+	base := testBase()
+	base.Traffic = busnet.MMPP2Traffic(0.02, 0.3, 0.01, 0.05)
+	g := Grid{Base: base, Processors: []int{8, 16}}
+	_, err := Run(Spec{Grid: g, Backend: busnet.BackendFluid})
+	if err == nil {
+		t.Fatal("fluid backend swept bursty traffic without complaint")
+	}
+	if !strings.Contains(err.Error(), "fluid backend") {
+		t.Errorf("error does not identify the fluid backend: %v", err)
+	}
+}
+
+// Simulated points carry the fluid prediction as an overlay column
+// whenever the config is inside the fluid domain, next to the analytic
+// one — so a sim sweep's artifact already contains the model-vs-DES gap.
+func TestSimSweepAttachesFluidOverlay(t *testing.T) {
+	g := Grid{Base: testBase(), Processors: []int{8}}
+	res, err := Run(Spec{Grid: g, Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.Fluid == nil {
+		t.Fatal("no fluid overlay on an in-domain simulated point")
+	}
+	if pt.Analytic == nil {
+		t.Fatal("analytic overlay missing")
+	}
+	bursty := testBase()
+	bursty.Traffic = busnet.MMPP2Traffic(0.02, 0.3, 0.01, 0.05)
+	res, err = Run(Spec{Grid: Grid{Base: bursty, Processors: []int{8}}, Replications: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Fluid != nil {
+		t.Error("fluid overlay attached outside the model's domain")
+	}
+}
+
+// The JSON side of the "absent, not zero" contract: with histogram
+// collection off the quantile keys are absent from the marshaled point;
+// with it on they appear. (The CSV side is locked in cmd/busnet-sim.)
+func TestQuantileJSONAbsentWhenDisabled(t *testing.T) {
+	g := Grid{Base: testBase(), Processors: []int{4}}
+	res, err := Run(Spec{Grid: g, Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res.Points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("wait_quantiles")) || bytes.Contains(blob, []byte("response_quantiles")) {
+		t.Fatalf("quantile keys present with collection disabled:\n%s", blob)
+	}
+
+	on := g
+	on.Base.Quantiles = true
+	res, err = Run(Spec{Grid: on, Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err = json.Marshal(res.Points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, []byte("wait_quantiles")) {
+		t.Fatalf("quantile keys missing with collection enabled:\n%s", blob)
 	}
 }
