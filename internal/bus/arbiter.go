@@ -26,11 +26,18 @@ type RoundRobinArbiter struct {
 // The first grant goes to the lowest pending index.
 func NewRoundRobin() *RoundRobinArbiter { return &RoundRobinArbiter{last: -1} }
 
-// Select scans cyclically from the slot after the last grantee.
+// Select scans cyclically from the slot after the last grantee. The
+// cycle is two straight array sweeps rather than a modular walk: this
+// sits on the dispatch hot path, and the per-probe integer division of
+// `(last+off) % n` costs more than the probe itself.
 func (a *RoundRobinArbiter) Select(pending []bool) int {
-	n := len(pending)
-	for off := 1; off <= n; off++ {
-		i := (a.last + off) % n
+	for i := a.last + 1; i < len(pending); i++ {
+		if pending[i] {
+			a.last = i
+			return i
+		}
+	}
+	for i := 0; i <= a.last; i++ {
 		if pending[i] {
 			a.last = i
 			return i
@@ -82,9 +89,14 @@ func (a *WeightedRoundRobinArbiter) Select(pending []bool) int {
 		a.left--
 		return a.current
 	}
-	n := len(pending)
-	for off := 1; off <= n; off++ {
-		i := (a.current + off + n) % n
+	for i := a.current + 1; i < len(pending); i++ {
+		if pending[i] {
+			a.current = i
+			a.left = a.weights[i] - 1
+			return i
+		}
+	}
+	for i := 0; i <= a.current; i++ {
 		if pending[i] {
 			a.current = i
 			a.left = a.weights[i] - 1

@@ -140,9 +140,9 @@ type Network struct {
 	sources []workload.Source // per-processor think-time generators
 	service servdist.Dist     // bus service-time generator, shared by all buses
 
-	queues  [][]float64 // per-processor FIFO of issue times awaiting a bus
-	pending []bool      // queues[i] is nonempty
-	stalled []float64   // Buffered finite: issue time of the request held at a
+	queues  []timeRing // per-processor FIFO of issue times awaiting a bus
+	pending []bool     // queues[i] is nonempty
+	stalled []float64  // Buffered finite: issue time of the request held at a
 	// full interface (processor stalled); NaN when none
 	queued     int       // total requests waiting across all interfaces
 	busy       int       // buses currently serving
@@ -150,6 +150,8 @@ type Network struct {
 	servIssued []float64 // per-bus issue time of the request in service
 	completeFn []func()  // per-bus completion callbacks, built once so the
 	// dispatch hot path schedules without allocating a closure per grant
+	issueFn []func() // per-processor issue callbacks, built once so every
+	// think-time event schedules without allocating a closure
 
 	statsStart  float64
 	util        sim.TimeWeighted   // fraction of busy buses (0/1 when nBuses == 1)
@@ -176,7 +178,7 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 		rng:        rng,
 		nBuses:     cfg.buses(),
 		sources:    cfg.Sources,
-		queues:     make([][]float64, cfg.Processors),
+		queues:     make([]timeRing, cfg.Processors),
 		pending:    make([]bool, cfg.Processors),
 		stalled:    make([]float64, cfg.Processors),
 		grants:     make([]uint64, cfg.Processors),
@@ -214,6 +216,15 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 	for i := range n.stalled {
 		n.stalled[i] = math.NaN()
 	}
+	n.issueFn = make([]func(), cfg.Processors)
+	for i := range n.issueFn {
+		n.issueFn[i] = func() { n.issue(i) }
+		if cfg.Mode == Buffered && cfg.BufferCap != Infinite {
+			// A finite interface never holds more than BufferCap requests;
+			// pre-sizing the ring makes the queue path allocation-free.
+			n.queues[i].reserve(cfg.BufferCap)
+		}
+	}
 	n.completeFn = make([]func(), n.nBuses)
 	for b := range n.serving {
 		n.serving[b] = -1
@@ -235,7 +246,7 @@ func (n *Network) Start() {
 }
 
 func (n *Network) scheduleThink(i int) {
-	n.eng.Schedule(n.sources[i].Next(n.rng), func() { n.issue(i) })
+	n.eng.Schedule(n.sources[i].Next(n.rng), n.issueFn[i])
 }
 
 // issue fires when processor i finishes thinking and presents a request
@@ -250,7 +261,7 @@ func (n *Network) issue(i int) {
 		n.enqueue(i, now)
 		n.tryDispatch()
 	case Buffered:
-		if n.cfg.BufferCap == Infinite || len(n.queues[i]) < n.cfg.BufferCap {
+		if n.cfg.BufferCap == Infinite || n.queues[i].len() < n.cfg.BufferCap {
 			n.enqueue(i, now)
 			n.scheduleThink(i)
 			n.tryDispatch()
@@ -264,7 +275,7 @@ func (n *Network) issue(i int) {
 }
 
 func (n *Network) enqueue(i int, issuedAt float64) {
-	n.queues[i] = append(n.queues[i], issuedAt)
+	n.queues[i].push(issuedAt)
 	n.pending[i] = true
 	n.queued++
 	n.qlen.Set(float64(n.queued), n.eng.Now())
@@ -292,9 +303,8 @@ func (n *Network) tryDispatch() {
 	for n.busy < n.nBuses && n.queued > 0 {
 		now := n.eng.Now()
 		j := n.cfg.Arbiter.Select(n.pending)
-		issuedAt := n.queues[j][0]
-		n.queues[j] = n.queues[j][1:]
-		n.pending[j] = len(n.queues[j]) > 0
+		issuedAt := n.queues[j].pop()
+		n.pending[j] = n.queues[j].len() > 0
 		n.queued--
 		n.qlen.Set(float64(n.queued), now)
 		n.grants[j]++
@@ -444,7 +454,7 @@ func (n *Network) Snapshot() Metrics {
 // waiting at its interface, stalled at a full interface, or in service
 // on any bus. Exposed for invariant checks in tests.
 func (n *Network) Outstanding(i int) int {
-	c := len(n.queues[i])
+	c := n.queues[i].len()
 	if !math.IsNaN(n.stalled[i]) {
 		c++
 	}

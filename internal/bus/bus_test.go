@@ -98,7 +98,7 @@ func TestBufferedFiniteCapRespected(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < cfg.Processors; i++ {
-			if q := len(n.queues[i]); q > capacity {
+			if q := n.queues[i].len(); q > capacity {
 				t.Fatalf("t=%v: processor %d queue length %d exceeds cap %d",
 					eng.Now(), i, q, capacity)
 			}
@@ -534,10 +534,39 @@ func BenchmarkNetworkSteadyState(b *testing.B) {
 		b.Fatal(err)
 	}
 	start := eng.Processed()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for eng.Processed()-start < uint64(b.N) {
 		if err := eng.RunUntil(eng.Now() + 100); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestNetworkSteadyStateAllocFree locks the whole-system zero-allocation
+// contract: once past the startup transient, a loaded buffered network —
+// think-time draws, arbitration, queue bookkeeping, statistics — runs
+// without touching the heap.
+func TestNetworkSteadyStateAllocFree(t *testing.T) {
+	cfg := Config{
+		Processors: 16, ThinkRate: 0.06, ServiceRate: 1,
+		Mode: Buffered, BufferCap: 8, Arbiter: NewRoundRobin(),
+	}
+	eng := sim.NewEngine()
+	n, err := New(cfg, eng, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	if err := eng.RunUntil(1000); err != nil { // reach the pool's high-water mark
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := eng.RunUntil(eng.Now() + 100); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state network allocates %v per 100-time-unit window, want 0", avg)
 	}
 }

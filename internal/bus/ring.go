@@ -1,0 +1,61 @@
+package bus
+
+// timeRing is a FIFO of issue timestamps backed by a power-of-two ring
+// buffer. The per-interface queues used to be plain slices popped with
+// q = q[1:], which leaks capacity off the front and forces a fresh
+// backing array every BufferCap pops — one steady-state allocation per
+// handful of transactions. The ring reuses its storage forever: after
+// warmup the queue path allocates nothing.
+type timeRing struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+// push appends t, growing the buffer (doubling, so amortized O(1)) only
+// when full. Finite-capacity interfaces never grow after New sizes them:
+// their ring is pre-allocated to hold BufferCap entries.
+func (r *timeRing) push(t float64) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+// pop removes and returns the oldest entry. Callers check len first.
+func (r *timeRing) pop() float64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// len reports the number of queued entries.
+func (r *timeRing) len() int { return r.n }
+
+// grow doubles the buffer, unrolling the wrapped contents to the front
+// so the ring arithmetic stays a single mask.
+func (r *timeRing) grow() {
+	size := 2 * len(r.buf)
+	if size < 2 {
+		size = 2
+	}
+	buf := make([]float64, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// reserve pre-sizes the ring to hold at least c entries without growing.
+func (r *timeRing) reserve(c int) {
+	size := 1
+	for size < c {
+		size <<= 1
+	}
+	if size > len(r.buf) {
+		r.buf = make([]float64, size)
+	}
+}

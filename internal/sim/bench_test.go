@@ -16,6 +16,7 @@ func BenchmarkEventLoop(b *testing.B) {
 		}
 	}
 	e.Schedule(1, fire)
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -40,6 +41,34 @@ func BenchmarkHeapPushPop(b *testing.B) {
 		t += 1.0
 		ev.Time = t
 		h.Push(ev)
+	}
+}
+
+// BenchmarkWheelPushPop measures the timing wheel under the same
+// 1024-pending working set as BenchmarkHeapPushPop, so the two rows
+// compare the schedulers head to head.
+func BenchmarkWheelPushPop(b *testing.B) {
+	w := NewTimingWheel()
+	t := 0.0
+	for i := 0; i < 1024; i++ {
+		t += 1.0
+		w.Push(&Event{Time: t})
+	}
+	// Cycle once around the working set so the wheel's width and bucket
+	// count settle before measurement.
+	for i := 0; i < 4096; i++ {
+		ev := w.Pop()
+		t += 1.0
+		ev.Time = t
+		w.Push(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := w.Pop()
+		t += 1.0
+		ev.Time = t
+		w.Push(ev)
 	}
 }
 

@@ -9,17 +9,28 @@ import (
 // Engine drives a single-threaded discrete-event simulation. All state
 // mutation happens inside event callbacks, which the engine fires in
 // nondecreasing time order.
+//
+// The engine owns a free list of Event objects: every fired or cancelled
+// event is recycled into the next Schedule call, so the steady-state
+// loop performs zero heap allocations per event (see the lifetime rule
+// on Event). Callbacks should likewise be long-lived values — a fresh
+// closure per Schedule call reintroduces one allocation per event.
 type Engine struct {
-	heap      *EventHeap
+	sched     scheduler
+	free      []*Event
 	now       float64
 	processed uint64
 	running   bool
 }
 
-// NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine {
-	return &Engine{heap: NewEventHeap(64)}
-}
+// NewEngine returns an engine with the clock at zero, scheduling on the
+// timing wheel.
+func NewEngine() *Engine { return &Engine{sched: NewTimingWheel()} }
+
+// newEngineOn returns an engine driven by an explicit scheduler — the
+// seam the differential tests use to run the retained binary heap
+// against the wheel.
+func newEngineOn(s scheduler) *Engine { return &Engine{sched: s} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -28,7 +39,7 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return e.heap.Len() }
+func (e *Engine) Pending() int { return e.sched.Len() }
 
 // ScheduleAt schedules fn to fire at absolute time t. Scheduling in the
 // past panics: it is always a model bug and silently clamping it would
@@ -37,9 +48,7 @@ func (e *Engine) ScheduleAt(t float64, fn func()) *Event {
 	if t < e.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("sim: scheduled event at t=%v before now=%v", t, e.now))
 	}
-	ev := &Event{Time: t, Fn: fn}
-	e.heap.Push(ev)
-	return ev
+	return e.push(t, fn)
 }
 
 // Schedule schedules fn to fire delay time units from now.
@@ -47,43 +56,82 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	return e.ScheduleAt(e.now+delay, fn)
+	// delay ≥ 0 and non-NaN implies now+delay ≥ now: causality is already
+	// guaranteed, so skip ScheduleAt's re-validation on the hot path.
+	return e.push(e.now+delay, fn)
 }
 
-// Cancel removes a pending event. Returns false if it already fired.
-func (e *Engine) Cancel(ev *Event) bool { return e.heap.Remove(ev) }
+func (e *Engine) push(t float64, fn func()) *Event {
+	ev := e.alloc()
+	ev.Time = t
+	ev.Fn = fn
+	e.sched.Push(ev)
+	return ev
+}
 
-// ErrStopped is returned by Run when Stop was called from inside an event.
+// Cancel removes a pending event, recycling it into the engine's event
+// pool. It returns false when ev is not pending. Per the Event lifetime
+// rule, call it only on handles whose event is known not to have fired:
+// a handle goes stale — and may alias a newer event — once its event
+// fires or is cancelled.
+func (e *Engine) Cancel(ev *Event) bool {
+	if !e.sched.Remove(ev) {
+		return false
+	}
+	e.release(ev)
+	return true
+}
+
+// alloc takes an Event from the free list, or mints one when empty. The
+// list's high-water mark is the peak concurrently-pending event count,
+// so a steady-state run stops allocating once the model's working set is
+// reached.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return new(Event)
+}
+
+// release recycles a fired or cancelled event. Fn is cleared so the pool
+// never retains a callback's captures beyond the event's lifetime.
+func (e *Engine) release(ev *Event) {
+	ev.Fn = nil
+	e.free = append(e.free, ev)
+}
+
+// ErrStopped is returned by Run and RunUntil when — and only when — Stop
+// was called from inside an event. Draining the pending set or reaching
+// the horizon returns nil.
 var ErrStopped = errors.New("sim: stopped")
 
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.running = false }
 
-// RunUntil fires events in order until the heap is empty or the next event
-// is strictly after horizon. The clock is left at min(horizon, last event
-// time): if events remain past the horizon the clock advances to horizon
-// exactly, so time-weighted statistics cover the full interval.
+// RunUntil fires events in order until the pending set is empty or the
+// next event is strictly after horizon. The clock is left at
+// min(horizon, last event time): if events remain past the horizon the
+// clock advances to horizon exactly, so time-weighted statistics cover
+// the full interval. It returns ErrStopped only when Stop was called.
 func (e *Engine) RunUntil(horizon float64) error {
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
 	}
 	e.running = true
 	for e.running {
-		ev := e.heap.Peek()
+		ev := e.sched.PopLE(horizon)
 		if ev == nil {
 			break
 		}
-		if ev.Time > horizon {
-			e.now = horizon
-			return nil
-		}
-		e.heap.Pop()
 		e.now = ev.Time
 		e.processed++
-		ev.Fn()
+		fn := ev.Fn
+		e.release(ev)
+		fn()
 	}
 	if !e.running {
-		e.running = false
 		return ErrStopped
 	}
 	if e.now < horizon {
@@ -92,17 +140,20 @@ func (e *Engine) RunUntil(horizon float64) error {
 	return nil
 }
 
-// Run fires events until the heap is empty or Stop is called.
+// Run fires events until the pending set is empty (returning nil) or
+// Stop is called (returning ErrStopped).
 func (e *Engine) Run() error {
 	e.running = true
 	for e.running {
-		ev := e.heap.Pop()
+		ev := e.sched.Pop()
 		if ev == nil {
 			return nil
 		}
 		e.now = ev.Time
 		e.processed++
-		ev.Fn()
+		fn := ev.Fn
+		e.release(ev)
+		fn()
 	}
 	return ErrStopped
 }

@@ -112,6 +112,69 @@ func TestEngineSchedulePastPanics(t *testing.T) {
 	e.ScheduleAt(1, func() {})
 }
 
+// TestEngineReturnContract pins the Run/RunUntil error contract:
+// ErrStopped when — and only when — Stop was called from inside an
+// event; nil on draining the pending set or reaching the horizon.
+func TestEngineReturnContract(t *testing.T) {
+	cases := []struct {
+		name    string
+		run     func(e *Engine) error
+		wantErr error
+	}{
+		{"run-empty", func(e *Engine) error {
+			return e.Run()
+		}, nil},
+		{"run-drains", func(e *Engine) error {
+			e.Schedule(1, func() {})
+			return e.Run()
+		}, nil},
+		{"run-stopped", func(e *Engine) error {
+			e.Schedule(1, e.Stop)
+			e.Schedule(2, func() {})
+			return e.Run()
+		}, ErrStopped},
+		{"rununtil-empty", func(e *Engine) error {
+			return e.RunUntil(10)
+		}, nil},
+		{"rununtil-drains-before-horizon", func(e *Engine) error {
+			e.Schedule(1, func() {})
+			return e.RunUntil(10)
+		}, nil},
+		{"rununtil-horizon-with-pending", func(e *Engine) error {
+			e.Schedule(1, func() {})
+			e.Schedule(20, func() {})
+			return e.RunUntil(10)
+		}, nil},
+		{"rununtil-stopped", func(e *Engine) error {
+			e.Schedule(1, e.Stop)
+			e.Schedule(2, func() {})
+			return e.RunUntil(10)
+		}, ErrStopped},
+		{"rununtil-stop-at-horizon-event", func(e *Engine) error {
+			// Stop fired by the last event inside the horizon still
+			// reports ErrStopped, not a clean horizon return.
+			e.Schedule(10, e.Stop)
+			return e.RunUntil(10)
+		}, ErrStopped},
+		{"rununtil-resume-after-stop", func(e *Engine) error {
+			e.Schedule(1, e.Stop)
+			if err := e.RunUntil(10); err != ErrStopped {
+				t.Fatalf("first run: err = %v, want ErrStopped", err)
+			}
+			// A fresh run after a Stop is a clean run again.
+			e.Schedule(1, func() {})
+			return e.RunUntil(20)
+		}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(NewEngine()); err != tc.wantErr {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestEngineDeterministicTieOrder(t *testing.T) {
 	// Two events at the same time must fire in scheduling order, every run.
 	for run := 0; run < 10; run++ {

@@ -1,6 +1,6 @@
 // Package sim provides a deterministic discrete-event simulation engine:
-// an event heap ordered by (time, insertion sequence), a simulation clock,
-// seeded random-variate generation, and statistics collectors.
+// an event scheduler ordered by (time, insertion sequence), a simulation
+// clock, seeded random-variate generation, and statistics collectors.
 //
 // Determinism contract: given the same seed and the same sequence of
 // Schedule calls, an Engine processes events in exactly the same order and
@@ -8,23 +8,14 @@
 // insertion order, never by map iteration or pointer identity.
 package sim
 
-// Event is a scheduled callback. Events are ordered by Time; events with
-// equal Time fire in the order they were scheduled (seq).
-type Event struct {
-	Time float64
-	Fn   func()
-
-	seq   uint64 // insertion order, assigned by the heap
-	index int    // position in the heap slice, -1 when popped/cancelled
-}
-
-// Seq returns the insertion sequence number assigned when the event was
-// pushed. Exposed for tests and debugging.
-func (e *Event) Seq() uint64 { return e.seq }
-
 // EventHeap is a binary min-heap of events keyed by (Time, seq).
 // It is not safe for concurrent use; the engine is single-threaded by
 // design so that runs are reproducible.
+//
+// The engine's default scheduler is the TimingWheel; the heap remains as
+// the simple, obviously-correct oracle the wheel is differentially
+// tested against, and as the wheel's sorted overflow level for
+// far-future events.
 type EventHeap struct {
 	events  []*Event
 	nextSeq uint64
@@ -42,6 +33,12 @@ func (h *EventHeap) Len() int { return len(h.events) }
 func (h *EventHeap) Push(e *Event) {
 	e.seq = h.nextSeq
 	h.nextSeq++
+	h.pushKeyed(e)
+}
+
+// pushKeyed inserts an event whose (Time, seq) key is already assigned —
+// the timing wheel's overflow path, where the wheel owns seq numbering.
+func (h *EventHeap) pushKeyed(e *Event) {
 	e.index = len(h.events)
 	h.events = append(h.events, e)
 	h.up(e.index)
@@ -53,6 +50,15 @@ func (h *EventHeap) Peek() *Event {
 		return nil
 	}
 	return h.events[0]
+}
+
+// PopLE removes and returns the earliest event whose time is ≤ limit, or
+// nil when the heap is empty or the earliest event lies beyond the limit.
+func (h *EventHeap) PopLE(limit float64) *Event {
+	if len(h.events) == 0 || h.events[0].Time > limit {
+		return nil
+	}
+	return h.Pop()
 }
 
 // Pop removes and returns the earliest event, or nil when empty.
