@@ -9,9 +9,12 @@ import (
 	"github.com/busnet/busnet/pkg/busnet/sweep"
 )
 
-// csvHeader names one row per grid point, wide format: configuration,
-// then mean/ci95 per metric, then the analytic prediction (blank when no
-// steady state exists).
+// csvHeader names one row per grid point (flat curves) or per
+// (point, hop) (topology curves), wide format: configuration, then
+// mean/ci95 per metric, then the analytic prediction (blank when no
+// steady state exists), then the topology columns — node name, inbound
+// bridge depth, blocked fraction, and the point's end-to-end response —
+// blank on flat rows.
 var csvHeader = []string{
 	"scenario", "curve", "backend", "point",
 	"processors", "buses", "think_rate", "service_rate", "service", "service_detail",
@@ -27,6 +30,8 @@ var csvHeader = []string{
 	"response_p50", "response_p95", "response_p99",
 	"analytic_util", "analytic_throughput", "analytic_wait", "analytic_qlen", "analytic_response",
 	"fluid_util", "fluid_throughput", "fluid_wait", "fluid_qlen", "fluid_response", "fluid_blocked",
+	"node", "bridge_depth", "blocked_mean", "blocked_ci95",
+	"e2e_response_mean", "e2e_response_ci95",
 }
 
 // writeCSV flattens a report to CSV. Floats are rendered with
@@ -56,14 +61,81 @@ func writeCSV(w io.Writer, report Report) error {
 		}
 		return []string{f(q.P50), f(q.P95), f(q.P99)}
 	}
+	// writeTopologyRows renders one row per (point, hop): the hop's node
+	// configuration in the shared config columns, its reduced statistics
+	// in the shared metric columns, and the topology-only columns — node
+	// name, inbound bridge depth (blank on source nodes and merges with
+	// more than one inbound bridge), blocked fraction, and the point's
+	// end-to-end response repeated on each of its rows as provenance.
+	writeTopologyRows := func(curve CurveResult) error {
+		res := curve.Topology
+		for p, pt := range res.Points {
+			top := pt.Topology
+			for k, h := range pt.Hops {
+				node := top.Nodes[k]
+				meanRate := ""
+				if node.Processors > 0 {
+					meanRate = f(node.Traffic.MeanRate(node.ThinkRate))
+				}
+				inbound := ""
+				for _, l := range top.Links {
+					if l.To != node.Name {
+						continue
+					}
+					if inbound != "" {
+						inbound = "" // merge point: no single inbound depth
+						break
+					}
+					inbound = i(l.Buffer)
+				}
+				row := []string{
+					report.Scenario, curve.Name, string(curve.Backend), i(p),
+					i(node.Processors), i(node.Buses), f(node.ThinkRate), f(node.ServiceRate),
+					string(node.Service.Kind), node.Service.Detail(),
+					node.Mode, i(node.BufferCap), node.Arbiter,
+					node.Weights, string(node.Traffic.Kind), node.Traffic.Detail(),
+					meanRate,
+					strconv.FormatInt(top.Seed, 10), f(top.Horizon), f(top.Warmup),
+					i(res.Replications),
+				}
+				row = append(row, stat(h.Utilization)...)
+				row = append(row, stat(h.Throughput)...)
+				row = append(row, stat(h.MeanWait)...)
+				row = append(row, stat(h.MeanQueueLen)...)
+				row = append(row, stat(h.MeanResponse)...)
+				row = append(row, "", "", "", "", "", "") // no pooled quantile columns per hop
+				if a := pt.Analytic; a != nil {
+					an := a.Nodes[k]
+					row = append(row, f(an.Utilization), f(an.Throughput), f(an.MeanWait),
+						f(an.MeanQueueLen), f(an.MeanResponse))
+				} else {
+					row = append(row, "", "", "", "", "")
+				}
+				row = append(row, "", "", "", "", "", "") // fluid model has no topology form
+				row = append(row, h.Node, inbound)
+				row = append(row, stat(h.Blocked)...)
+				row = append(row, stat(pt.EndToEnd)...)
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	for _, curve := range report.Curves {
+		if curve.Topology != nil {
+			if err := writeTopologyRows(curve); err != nil {
+				return err
+			}
+			continue
+		}
 		for p, pt := range curve.Result.Points {
 			row := []string{
 				report.Scenario, curve.Name, string(curve.Backend), i(p),
 				i(pt.Config.Processors), i(pt.Config.Buses), f(pt.Config.ThinkRate), f(pt.Config.ServiceRate),
-				pt.Config.Service.Kind, pt.Config.Service.Detail(),
+				string(pt.Config.Service.Kind), pt.Config.Service.Detail(),
 				pt.Config.Mode, i(pt.Config.BufferCap), pt.Config.Arbiter,
-				pt.Config.Weights, pt.Config.Traffic.Kind, pt.Config.Traffic.Detail(),
+				pt.Config.Weights, string(pt.Config.Traffic.Kind), pt.Config.Traffic.Detail(),
 				f(pt.Config.MeanThinkRate()),
 				strconv.FormatInt(pt.Config.Seed, 10), f(pt.Config.Horizon), f(pt.Config.Warmup),
 				i(curve.Result.Replications),
@@ -87,6 +159,7 @@ func writeCSV(w io.Writer, report Report) error {
 			} else {
 				row = append(row, "", "", "", "", "", "")
 			}
+			row = append(row, "", "", "", "", "", "") // topology columns are blank on flat rows
 			if err := cw.Write(row); err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"math"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -68,6 +69,31 @@ func TestScenariosEmitValidJSON(t *testing.T) {
 				wantReps := 3
 				if c.Backend != busnet.BackendSim {
 					wantReps = 0
+				}
+				if c.Topology != nil {
+					// Topology curves carry their sweep in the topology
+					// payload; the flat result stays empty.
+					if len(c.Result.Points) != 0 {
+						t.Fatalf("curve %s carries both flat and topology results", c.Name)
+					}
+					if c.Topology.Replications != wantReps {
+						t.Fatalf("curve %s (%s backend) ran %d replications, want %d",
+							c.Name, c.Backend, c.Topology.Replications, wantReps)
+					}
+					if len(c.Topology.Points) == 0 {
+						t.Fatalf("curve %s has no topology points", c.Name)
+					}
+					for _, pt := range c.Topology.Points {
+						if len(pt.Hops) == 0 {
+							t.Fatalf("curve %s: topology point has no hops", c.Name)
+						}
+						for _, h := range pt.Hops {
+							if !(h.Utilization.Mean > 0) {
+								t.Fatalf("curve %s: hop %s has zero utilization", c.Name, h.Node)
+							}
+						}
+					}
+					continue
 				}
 				if c.Result.Replications != wantReps {
 					t.Fatalf("curve %s (%s backend) ran %d replications, want %d",
@@ -359,7 +385,7 @@ func TestArbiterFairnessExposesGrants(t *testing.T) {
 // CSV report must carry exactly that many data rows — the contract the
 // CI smoke test is built on.
 func TestPointsFlagMatchesCSVRows(t *testing.T) {
-	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter", "multibus-curves"} {
+	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter", "multibus-curves", "topology-curves"} {
 		t.Run(name, func(t *testing.T) {
 			var pointsOut, errOut bytes.Buffer
 			if err := run([]string{"-scenario", name, "-points"}, &pointsOut, &errOut); err != nil {
@@ -654,6 +680,115 @@ func TestQuantileCSVCellsEmptyWhenDisabled(t *testing.T) {
 		if _, err := strconv.ParseFloat(waitMean(row), 64); err != nil {
 			t.Fatalf("wait_mean cell %q not numeric: %v", waitMean(row), err)
 		}
+	}
+}
+
+// The topology-curves scenario end to end through the CLI: one CSV row
+// per (point, hop) with the hop named in the node column, the swept
+// bridge depth echoed on bridged hops, blocking measured per hop, the
+// point's end-to-end response repeated across its rows, and the
+// product-form overlay riding along.
+func TestTopologyCurvesCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "topology-curves", "-seed", "42", "-horizon", "4000", "-replications", "2", "-format", "csv"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	want := declaredPoints(t, "topology-curves", Params{Seed: 42, Horizon: 4000, Replications: 2})
+	if got := len(rows) - 1; got != want {
+		t.Fatalf("got %d data rows, want %d (one per point × hop)", got, want)
+	}
+	header := rows[0]
+	curve := col(t, header, "curve")
+	point := col(t, header, "point")
+	node := col(t, header, "node")
+	depth := col(t, header, "bridge_depth")
+	blocked := col(t, header, "blocked_mean")
+	e2e := col(t, header, "e2e_response_mean")
+	analytic := col(t, header, "analytic_response")
+	parse := func(row []string, get func([]string) string) float64 {
+		v, err := strconv.ParseFloat(get(row), 64)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q in row %v", get(row), row[:4])
+		}
+		return v
+	}
+	// Every row names its hop and repeats its point's end-to-end response.
+	e2eByPoint := map[string]string{}
+	for _, row := range rows[1:] {
+		if node(row) == "" {
+			t.Fatalf("topology row missing its node name: %v", row[:4])
+		}
+		if parse(row, e2e) <= 0 {
+			t.Fatalf("curve %s point %s: end-to-end response not positive", curve(row), point(row))
+		}
+		key := curve(row) + "/" + point(row)
+		if prev, ok := e2eByPoint[key]; ok && prev != e2e(row) {
+			t.Fatalf("point %s: e2e response differs across its hop rows: %q vs %q", key, prev, e2e(row))
+		}
+		e2eByPoint[key] = e2e(row)
+	}
+	// bridge-depth: the mem hop echoes the swept depth in point order,
+	// and a depth-1 bridge blocks the upstream bus more than a deep one.
+	var depths []string
+	cpuBlocked := map[string]float64{}
+	for _, row := range rows[1:] {
+		if curve(row) != "bridge-depth" {
+			continue
+		}
+		switch node(row) {
+		case "mem":
+			depths = append(depths, depth(row))
+		case "cpu":
+			cpuBlocked[point(row)] = parse(row, blocked)
+		}
+	}
+	if wantDepths := []string{"1", "2", "4", "8", "16", "32"}; !reflect.DeepEqual(depths, wantDepths) {
+		t.Fatalf("bridge_depth on the mem hop = %v, want %v", depths, wantDepths)
+	}
+	if !(cpuBlocked["0"] > cpuBlocked["5"]) {
+		t.Errorf("depth-1 bridge blocks the cpu bus %v, not more than depth 32's %v",
+			cpuBlocked["0"], cpuBlocked["5"])
+	}
+	// three-hop-chain is an exact open tandem: every hop carries the
+	// product-form overlay.
+	for _, row := range rows[1:] {
+		if curve(row) == "three-hop-chain" && analytic(row) == "" {
+			t.Fatalf("three-hop-chain hop %s missing the product-form overlay", node(row))
+		}
+	}
+}
+
+// The JSON face of a topology scenario: curves carry the topology
+// payload, and the empty flat result is omitted entirely rather than
+// rendered as a zero object.
+func TestTopologyCurvesJSONShape(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "topology-curves", "-horizon", "3000", "-replications", "2"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Curves) != 3 {
+		t.Fatalf("topology-curves produced %d curves, want 3", len(report.Curves))
+	}
+	for _, c := range report.Curves {
+		if c.Topology == nil {
+			t.Fatalf("curve %s missing its topology payload", c.Name)
+		}
+	}
+	if strings.Contains(out.String(), `"result"`) {
+		t.Error("topology curves rendered an empty flat result instead of omitting it")
+	}
+	if !strings.Contains(out.String(), `"end_to_end_response"`) {
+		t.Error("report missing end-to-end response statistics")
 	}
 }
 

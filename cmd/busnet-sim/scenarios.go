@@ -33,22 +33,28 @@ func (p Params) base() busnet.Config {
 // curve with replication CIs and analytic overlays. backend selects how
 // the grid is evaluated — the zero value is the discrete-event
 // simulator; BackendFluid/BackendAnalytic curves run no simulation and
-// can therefore sweep N far beyond what events can reach.
+// can therefore sweep N far beyond what events can reach. Exactly one
+// of grid and topo is set: grid curves sweep the flat single-segment
+// Config, topo curves sweep multi-hop bridged topologies (one CSV row
+// per hop of each operating point).
 type Curve struct {
 	Name        string
 	Figure      string // which figure of the source paper this reproduces
 	Description string
 	grid        func(Params) sweep.Grid
+	topo        func(Params) []busnet.Topology
 	backend     busnet.Backend
 }
 
-// CurveResult is one executed curve in the report.
+// CurveResult is one executed curve in the report. Exactly one of
+// Result and Topology is populated, matching the curve's declaration.
 type CurveResult struct {
-	Name        string         `json:"name"`
-	Figure      string         `json:"figure"`
-	Description string         `json:"description"`
-	Backend     busnet.Backend `json:"backend"`
-	Result      sweep.Result   `json:"result"`
+	Name        string                `json:"name"`
+	Figure      string                `json:"figure"`
+	Description string                `json:"description"`
+	Backend     busnet.Backend        `json:"backend"`
+	Result      sweep.Result          `json:"result,omitzero"`
+	Topology    *sweep.TopologyResult `json:"topology,omitempty"`
 }
 
 // Scenario is a named bundle of curves runnable from the CLI.
@@ -58,14 +64,21 @@ type Scenario struct {
 	Curves      []Curve
 }
 
-// Points returns the total number of grid points the scenario declares
+// Points returns the total number of data rows the scenario declares
 // across its curves — the row count a CSV report will carry below the
-// header. CI derives its smoke-test assertion from this instead of a
-// hard-coded count, so grid changes cannot silently desynchronize the
-// check.
+// header: one per grid point for flat curves, one per (point, hop) for
+// topology curves. CI derives its smoke-test assertion from this
+// instead of a hard-coded count, so grid changes cannot silently
+// desynchronize the check.
 func (s Scenario) Points(p Params) (int, error) {
 	total := 0
 	for _, c := range s.Curves {
+		if c.topo != nil {
+			for _, t := range c.topo(p) {
+				total += len(t.Nodes)
+			}
+			continue
+		}
 		points, err := c.grid(p).Points()
 		if err != nil {
 			return 0, fmt.Errorf("curve %s: %w", c.Name, err)
@@ -83,22 +96,36 @@ func (s Scenario) Run(p Params) ([]CurveResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("curve %s: %w", c.Name, err)
 		}
-		res, err := sweep.Run(sweep.Spec{
-			Grid:         c.grid(p),
-			Replications: p.Replications,
-			Workers:      p.Workers,
-			Backend:      backend,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("curve %s: %w", c.Name, err)
-		}
-		out = append(out, CurveResult{
+		cr := CurveResult{
 			Name:        c.Name,
 			Figure:      c.Figure,
 			Description: c.Description,
 			Backend:     backend,
-			Result:      res,
-		})
+		}
+		if c.topo != nil {
+			res, err := sweep.RunTopology(sweep.TopologySpec{
+				Points:       c.topo(p),
+				Replications: p.Replications,
+				Workers:      p.Workers,
+				Backend:      backend,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("curve %s: %w", c.Name, err)
+			}
+			cr.Topology = &res
+		} else {
+			res, err := sweep.Run(sweep.Spec{
+				Grid:         c.grid(p),
+				Replications: p.Replications,
+				Workers:      p.Workers,
+				Backend:      backend,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("curve %s: %w", c.Name, err)
+			}
+			cr.Result = res
+		}
+		out = append(out, cr)
 	}
 	return out, nil
 }
@@ -441,6 +468,98 @@ var (
 	}
 )
 
+// Topology curves: the multi-hop axis the flat single-segment model
+// cannot produce. Each curve sweeps one graph knob — bridge depth,
+// chain load, or merge fan-in — that has no word in the flat Config,
+// and the buffered-infinite points carry the open-tandem product-form
+// overlay so the simulated blocking penalty is measured against the
+// exact no-blocking bound.
+const (
+	topoProcessors = 16
+	topoLambda     = 0.04 // per-station λ: aggregate ρ = 16·0.04/1 = 0.64
+)
+
+// mustTopo unwraps a Build error for topologies declared in the curve
+// tables: a failure here is a bug in this file, not user input.
+func mustTopo(t busnet.Topology, err error) busnet.Topology {
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+var (
+	curveBridgeDepth = Curve{
+		Name:   "bridge-depth",
+		Figure: "per-hop blocking and end-to-end response vs bridge depth",
+		Description: "2-hop tandem cpu→mem at N=16, λ=0.04, μ=1 per hop (ρ=0.64): bridge depth " +
+			"swept 1…32 — shallow bridges block the upstream bus after service, deep ones " +
+			"recover the product-form bound",
+		topo: func(p Params) []busnet.Topology {
+			depths := []int{1, 2, 4, 8, 16, 32}
+			out := make([]busnet.Topology, 0, len(depths))
+			for _, d := range depths {
+				out = append(out, mustTopo(busnet.NewTopology().
+					BufferedSourceNode("cpu", topoProcessors, topoLambda, 1, busnet.Infinite, "mem").
+					TransitNode("mem", 1).
+					Bridge("cpu", "mem", d).
+					Seed(p.Seed).
+					Horizon(p.Horizon).
+					Build()))
+			}
+			return out
+		},
+	}
+	curveThreeHopChain = Curve{
+		Name:   "three-hop-chain",
+		Figure: "per-hop utilization and end-to-end response along a 3-hop chain",
+		Description: "cpu→l2→mem chain at N=16 with a service-rate gradient (μ = 1, 0.9, 0.8) " +
+			"and unbounded bridges, load swept λ ∈ {0.02, 0.03, 0.04}: an exact open tandem, " +
+			"every hop within the product form",
+		topo: func(p Params) []busnet.Topology {
+			lambdas := []float64{0.02, 0.03, 0.04}
+			out := make([]busnet.Topology, 0, len(lambdas))
+			for _, l := range lambdas {
+				out = append(out, mustTopo(busnet.NewTopology().
+					BufferedSourceNode("cpu", topoProcessors, l, 1, busnet.Infinite, "l2", "mem").
+					TransitNode("l2", 0.9).
+					TransitNode("mem", 0.8).
+					Bridge("cpu", "l2", busnet.Infinite).
+					Bridge("l2", "mem", busnet.Infinite).
+					Seed(p.Seed).
+					Horizon(p.Horizon).
+					Build()))
+			}
+			return out
+		},
+	}
+	curveTreeMerge = Curve{
+		Name:   "tree-merge",
+		Figure: "two source segments merging through a bridged backbone",
+		Description: "cpuA and cpuB (8 stations each, λ=0.04) merge into a backbone feeding " +
+			"mem (μ=1 everywhere, merged ρ=0.64): the backbone→mem bridge run at depth 1 vs " +
+			"unbounded shows where fan-in blocking bites",
+		topo: func(p Params) []busnet.Topology {
+			depths := []int{1, busnet.Infinite}
+			out := make([]busnet.Topology, 0, len(depths))
+			for _, d := range depths {
+				out = append(out, mustTopo(busnet.NewTopology().
+					BufferedSourceNode("cpuA", topoProcessors/2, topoLambda, 1, busnet.Infinite, "backbone", "mem").
+					BufferedSourceNode("cpuB", topoProcessors/2, topoLambda, 1, busnet.Infinite, "backbone", "mem").
+					TransitNode("backbone", 1).
+					TransitNode("mem", 1).
+					Bridge("cpuA", "backbone", busnet.Infinite).
+					Bridge("cpuB", "backbone", busnet.Infinite).
+					Bridge("backbone", "mem", d).
+					Seed(p.Seed).
+					Horizon(p.Horizon).
+					Build()))
+			}
+			return out
+		},
+	}
+)
+
 // single wraps one curve as its own scenario, keeping the registry key,
 // scenario name, and curve name in lockstep.
 func single(c Curve) Scenario {
@@ -511,6 +630,16 @@ var registry = map[string]Scenario{
 	"fluid-large-n":  single(curveFluidLargeN),
 	"fluid-vs-des":   single(curveFluidVsDES),
 	"fluid-vs-exact": single(curveFluidVsExact),
+	"topology-curves": {
+		Name: "topology-curves",
+		Description: "Multi-hop bridged fabrics: bridge-depth sweep on a 2-hop tandem, a " +
+			"3-hop chain with a service-rate gradient, and a tree merge — per-hop blocking " +
+			"and end-to-end response against the open-tandem product form",
+		Curves: []Curve{curveBridgeDepth, curveThreeHopChain, curveTreeMerge},
+	},
+	"bridge-depth":    single(curveBridgeDepth),
+	"three-hop-chain": single(curveThreeHopChain),
+	"tree-merge":      single(curveTreeMerge),
 	"weighted-arbiter": single(Curve{
 		Name:   "weighted-arbiter",
 		Figure: "weighted round-robin grant shares under saturation",

@@ -1,0 +1,96 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// HopPrediction is one node's steady-state prediction inside a network,
+// annotated with the total arrival rate the routing delivers to it —
+// external flows plus everything forwarded from upstream.
+type HopPrediction struct {
+	// ArrivalRate is λ_j, the aggregate arrival rate at this node.
+	ArrivalRate float64 `json:"arrival_rate"`
+	Prediction
+}
+
+// TandemPrediction is the product-form steady state of an open
+// feed-forward network of exponential-server nodes: one HopPrediction
+// per node plus the network-level throughput and the mean end-to-end
+// response of the reference flow (the sum of the per-hop responses
+// along its path).
+type TandemPrediction struct {
+	Hops []HopPrediction `json:"hops"`
+	// Throughput is the network departure rate, equal to the total
+	// external arrival rate in any stable open network.
+	Throughput float64 `json:"throughput"`
+	// MeanResponse is the mean end-to-end response time of the flow the
+	// prediction was built for: Σ over its hops of that hop's mean
+	// response (waiting + service).
+	MeanResponse float64 `json:"mean_response"`
+}
+
+// JacksonNode returns the steady state of one node of an open Jackson
+// network: an M/M/m queue with unbounded waiting room observing
+// aggregate Poisson arrivals at rate lambda, m servers each of rate mu.
+// By Jackson's theorem every node of an open network of
+// exponential-server FCFS stations with unbounded buffers behaves — in
+// stationary distribution — exactly like this isolated queue at its
+// traffic-equation arrival rate, so the per-node forms compose into the
+// network product form. m = 1 reduces to the M/M/1 node used by the
+// classical tandem result.
+func JacksonNode(lambda, mu float64, m int) (Prediction, error) {
+	if m < 1 {
+		return Prediction{}, fmt.Errorf("analytic: jackson node needs m ≥ 1 servers, have %d", m)
+	}
+	if !(lambda > 0) || math.IsInf(lambda, 1) {
+		return Prediction{}, fmt.Errorf("analytic: jackson node arrival rate λ = %v, need finite and > 0", lambda)
+	}
+	if m == 1 {
+		// BufferedInfinite(n, λ, μ) is the open M/M/1 at aggregate rate
+		// n·λ; with n = 1 the aggregate is lambda itself.
+		return BufferedInfinite(1, lambda, mu)
+	}
+	return MultiBufferedInfinite(1, m, lambda, mu)
+}
+
+// OpenTandem returns the product-form steady state of an open tandem of
+// exponential-server stations: Poisson arrivals at rate lambda enter
+// hop 0, every customer visits hops 0..K−1 in order, and hop k has
+// buses[k] servers of rate mu[k] with unbounded waiting room. Burke's
+// theorem makes the departure process of each stable M/M/m hop Poisson
+// at lambda again, so every hop is exactly an independent M/M/m queue
+// and the mean end-to-end response is the sum of the per-hop mean
+// responses — this is the exact form the tandem DES is cross-validated
+// against. buses == nil means one server per hop.
+//
+// The form assumes unbounded inter-stage buffers. Against a simulation
+// with finite bridge buffers it is an optimistic bound: blocking-after-
+// service can only hold customers longer, never shorter.
+func OpenTandem(lambda float64, mu []float64, buses []int) (TandemPrediction, error) {
+	if len(mu) == 0 {
+		return TandemPrediction{}, fmt.Errorf("analytic: open tandem needs ≥ 1 hop")
+	}
+	if buses == nil {
+		buses = make([]int, len(mu))
+		for k := range buses {
+			buses[k] = 1
+		}
+	}
+	if len(buses) != len(mu) {
+		return TandemPrediction{}, fmt.Errorf("analytic: open tandem has %d service rates but %d server counts", len(mu), len(buses))
+	}
+	p := TandemPrediction{
+		Hops:       make([]HopPrediction, len(mu)),
+		Throughput: lambda,
+	}
+	for k := range mu {
+		hop, err := JacksonNode(lambda, mu[k], buses[k])
+		if err != nil {
+			return TandemPrediction{}, fmt.Errorf("analytic: open tandem hop %d: %w", k, err)
+		}
+		p.Hops[k] = HopPrediction{ArrivalRate: lambda, Prediction: hop}
+		p.MeanResponse += hop.MeanResponse
+	}
+	return p, nil
+}

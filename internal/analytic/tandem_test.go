@@ -1,0 +1,140 @@
+package analytic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// JacksonNode with one server is exactly the open M/M/1 form the flat
+// model already exposes — the tandem overlay must not fork the math.
+func TestJacksonNodeSingleServerIsMM1(t *testing.T) {
+	for _, tt := range []struct{ lambda, mu float64 }{
+		{0.3, 1}, {0.6, 1}, {0.9, 1.5}, {2, 4},
+	} {
+		got, err := JacksonNode(tt.lambda, tt.mu, 1)
+		if err != nil {
+			t.Fatalf("JacksonNode(%v, %v, 1): %v", tt.lambda, tt.mu, err)
+		}
+		want, err := BufferedInfinite(1, tt.lambda, tt.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("JacksonNode(%v, %v, 1) = %+v, want M/M/1 %+v", tt.lambda, tt.mu, got, want)
+		}
+	}
+}
+
+// Textbook M/M/1 values at ρ = 0.5: Lq = ρ²/(1−ρ) = 0.5 (the repo's
+// MeanQueueLen counts waiting requests, not the one in service),
+// W = 1/(μ−λ) = 2, Wq = ρ/(μ−λ) = 1.
+func TestJacksonNodeTextbook(t *testing.T) {
+	p, err := JacksonNode(0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-12
+	if math.Abs(p.Utilization-0.5) > eps {
+		t.Errorf("ρ = %v, want 0.5", p.Utilization)
+	}
+	if math.Abs(p.MeanQueueLen-0.5) > eps {
+		t.Errorf("Lq = %v, want 0.5", p.MeanQueueLen)
+	}
+	if math.Abs(p.MeanResponse-2) > eps {
+		t.Errorf("W = %v, want 2", p.MeanResponse)
+	}
+	if math.Abs(p.MeanWait-1) > eps {
+		t.Errorf("Wq = %v, want 1", p.MeanWait)
+	}
+}
+
+func TestJacksonNodeRejects(t *testing.T) {
+	if _, err := JacksonNode(0.5, 1, 0); err == nil {
+		t.Error("m = 0 accepted")
+	}
+	if _, err := JacksonNode(0, 1, 1); err == nil {
+		t.Error("λ = 0 accepted")
+	}
+	if _, err := JacksonNode(math.Inf(1), 1, 1); err == nil {
+		t.Error("λ = +Inf accepted")
+	}
+	if _, err := JacksonNode(1.5, 1, 1); err == nil {
+		t.Error("unstable node accepted")
+	}
+}
+
+// The tandem mean response is the sum of the per-hop M/M/m responses,
+// and every hop sees the full external rate.
+func TestOpenTandemIsSumOfHops(t *testing.T) {
+	lambda := 0.6
+	mu := []float64{1, 1.25, 2}
+	p, err := OpenTandem(lambda, mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hops) != len(mu) {
+		t.Fatalf("got %d hops, want %d", len(p.Hops), len(mu))
+	}
+	var sum float64
+	for k, hop := range p.Hops {
+		if hop.ArrivalRate != lambda {
+			t.Errorf("hop %d arrival rate %v, want %v", k, hop.ArrivalRate, lambda)
+		}
+		want, err := BufferedInfinite(1, lambda, mu[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hop.Prediction != want {
+			t.Errorf("hop %d = %+v, want isolated M/M/1 %+v", k, hop.Prediction, want)
+		}
+		sum += hop.MeanResponse
+	}
+	if p.MeanResponse != sum {
+		t.Errorf("MeanResponse = %v, want Σ hop responses = %v", p.MeanResponse, sum)
+	}
+	if p.Throughput != lambda {
+		t.Errorf("Throughput = %v, want λ = %v", p.Throughput, lambda)
+	}
+}
+
+// Multi-server hops use the Erlang-C node form.
+func TestOpenTandemMultiServerHops(t *testing.T) {
+	lambda := 1.5
+	p, err := OpenTandem(lambda, []float64{1, 2}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0, err := MultiBufferedInfinite(1, 2, lambda, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops[0].Prediction != want0 {
+		t.Errorf("2-server hop = %+v, want Erlang-C %+v", p.Hops[0].Prediction, want0)
+	}
+	want1, err := BufferedInfinite(1, lambda, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops[1].Prediction != want1 {
+		t.Errorf("1-server hop = %+v, want M/M/1 %+v", p.Hops[1].Prediction, want1)
+	}
+}
+
+// An unstable hop fails the whole tandem with the hop index in the
+// error, so a misconfigured sweep names its bottleneck.
+func TestOpenTandemUnstableHop(t *testing.T) {
+	_, err := OpenTandem(0.9, []float64{2, 0.8}, nil)
+	if err == nil {
+		t.Fatal("unstable hop accepted")
+	}
+	if !strings.Contains(err.Error(), "hop 1") {
+		t.Errorf("error %q does not name the unstable hop", err)
+	}
+	if _, err := OpenTandem(0.5, nil, nil); err == nil {
+		t.Error("empty tandem accepted")
+	}
+	if _, err := OpenTandem(0.5, []float64{1, 1}, []int{1}); err == nil {
+		t.Error("mismatched server-count vector accepted")
+	}
+}

@@ -1,0 +1,34 @@
+// Package enum centralizes the text round-trip shared by every kind
+// enum in the module (arbiter, backend, mode, traffic and service
+// kinds): String for logs, MarshalText/UnmarshalText for JSON. Each
+// enum keeps its own Parse function — that is where the valid names and
+// the empty-string default live — and delegates the marshaling plumbing
+// here, so all enums reject unknown names identically and canonicalize
+// the empty string the same way instead of five hand-rolled variants
+// drifting apart.
+package enum
+
+// MarshalText renders the canonical spelling of k by running its name
+// through parse — so an empty (zero-value) kind marshals as its
+// documented default rather than "", and an unknown kind fails the
+// encode instead of smuggling an invalid name into the document.
+func MarshalText[K ~string](k K, parse func(string) (K, error)) ([]byte, error) {
+	canon, err := parse(string(k))
+	if err != nil {
+		return nil, err
+	}
+	return []byte(canon), nil
+}
+
+// UnmarshalText parses text into dst using the enum's own Parse
+// function, so JSON decoding accepts exactly the names Parse accepts —
+// including the empty-string default — and rejects everything else at
+// decode time rather than deep inside a run.
+func UnmarshalText[K any](dst *K, text []byte, parse func(string) (K, error)) error {
+	k, err := parse(string(text))
+	if err != nil {
+		return err
+	}
+	*dst = k
+	return nil
+}

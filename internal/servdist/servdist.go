@@ -32,17 +32,45 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/busnet/busnet/internal/enum"
 	"github.com/busnet/busnet/internal/sim"
 )
 
-// Kind names accepted by Spec.Kind. The empty string normalizes to
+// Kind names a service-time family. The empty string normalizes to
 // KindExponential so zero-value Specs keep the paper's default model.
+type Kind string
+
+// Kind names accepted by Spec.Kind.
 const (
-	KindExponential   = "exponential"
-	KindDeterministic = "deterministic"
-	KindErlang        = "erlang"
-	KindHyperexp      = "hyperexp"
+	KindExponential   Kind = "exponential"
+	KindDeterministic Kind = "deterministic"
+	KindErlang        Kind = "erlang"
+	KindHyperexp      Kind = "hyperexp"
 )
+
+// ParseKind maps a service-family name to its canonical Kind. The empty
+// string parses as KindExponential, matching Spec.Normalized.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "":
+		return KindExponential, nil
+	case KindExponential, KindDeterministic, KindErlang, KindHyperexp:
+		return Kind(s), nil
+	default:
+		return "", fmt.Errorf("servdist: unknown service kind %q", s)
+	}
+}
+
+// String returns the kind's name, empty for the zero value (which every
+// consumer normalizes to KindExponential).
+func (k Kind) String() string { return string(k) }
+
+// MarshalText renders the canonical name (the zero value marshals as
+// "exponential") and rejects unknown kinds at encode time.
+func (k Kind) MarshalText() ([]byte, error) { return enum.MarshalText(k, ParseKind) }
+
+// UnmarshalText parses exactly the names ParseKind accepts.
+func (k *Kind) UnmarshalText(text []byte) error { return enum.UnmarshalText(k, text, ParseKind) }
 
 // Dist generates successive service times, all with mean 1/μ for the
 // rate μ it was built with. Sample returns one service duration, > 0 and
@@ -72,7 +100,7 @@ type Dist interface {
 // service rate, passed to Validate/NewDist, so sweeping ServiceRate
 // sweeps the load while the Spec moves only the variability.
 type Spec struct {
-	Kind string `json:"kind,omitempty"`
+	Kind Kind `json:"kind,omitempty"`
 
 	// Erlang: number of exponential stages k ≥ 1 (k = 1 is exponential).
 	Shape int `json:"shape,omitempty"`
@@ -198,7 +226,7 @@ type exponential struct{ rate float64 }
 func (d exponential) Sample(rng *sim.RNG) float64 { return rng.Exp(d.rate) }
 func (d exponential) Mean() float64               { return 1 / d.rate }
 func (d exponential) SCV() float64                { return 1 }
-func (d exponential) Name() string                { return KindExponential }
+func (d exponential) Name() string                { return string(KindExponential) }
 
 // deterministic takes exactly the mean every time and consumes no
 // randomness — the fixed-width bus transfer.
@@ -207,7 +235,7 @@ type deterministic struct{ d float64 }
 func (d deterministic) Sample(*sim.RNG) float64 { return d.d }
 func (d deterministic) Mean() float64           { return d.d }
 func (d deterministic) SCV() float64            { return 0 }
-func (d deterministic) Name() string            { return KindDeterministic }
+func (d deterministic) Name() string            { return string(KindDeterministic) }
 
 // erlang sums k exponential stages of rate k·μ: mean 1/μ, SCV 1/k.
 // k draws per service.
@@ -225,7 +253,7 @@ func (d erlang) Sample(rng *sim.RNG) float64 {
 }
 func (d erlang) Mean() float64 { return float64(d.k) / d.stageRate }
 func (d erlang) SCV() float64  { return 1 / float64(d.k) }
-func (d erlang) Name() string  { return KindErlang }
+func (d erlang) Name() string  { return string(KindErlang) }
 
 // hyperexp mixes two exponential branches: one uniform draw picks the
 // branch, one Exp draw the duration.
@@ -244,4 +272,4 @@ func (d hyperexp) Sample(rng *sim.RNG) float64 {
 }
 func (d hyperexp) Mean() float64 { return d.mean }
 func (d hyperexp) SCV() float64  { return d.scv }
-func (d hyperexp) Name() string  { return KindHyperexp }
+func (d hyperexp) Name() string  { return string(KindHyperexp) }

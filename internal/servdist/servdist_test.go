@@ -101,7 +101,7 @@ func TestSampleMomentsMatchDeclared(t *testing.T) {
 		{Kind: KindHyperexp, SCV: 16},
 	}
 	for _, spec := range specs {
-		t.Run(spec.Normalized().Kind+spec.Detail(), func(t *testing.T) {
+		t.Run(string(spec.Normalized().Kind)+spec.Detail(), func(t *testing.T) {
 			d, err := spec.NewDist(mu)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,63 @@
+package topo
+
+// reqRing is a FIFO of in-flight requests backed by a power-of-two ring
+// buffer — the pointer twin of internal/bus's timeRing. Claimant queues
+// live on the dispatch hot path, so they reuse their storage forever;
+// popped slots are cleared so the ring never pins a released request.
+type reqRing struct {
+	buf  []*request
+	head int
+	n    int
+}
+
+// push appends r, growing the buffer (doubling, so amortized O(1)) only
+// when full. Finite claimant queues never grow after New sizes them.
+func (q *reqRing) push(r *request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+// pop removes and returns the oldest entry. Callers check len first.
+func (q *reqRing) pop() *request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return r
+}
+
+// len reports the number of queued requests.
+func (q *reqRing) len() int { return q.n }
+
+// at returns the i-th oldest entry without removing it, for inspection
+// in invariant checks. Callers keep i < len.
+func (q *reqRing) at(i int) *request { return q.buf[(q.head+i)&(len(q.buf)-1)] }
+
+// grow doubles the buffer, unrolling the wrapped contents to the front
+// so the ring arithmetic stays a single mask.
+func (q *reqRing) grow() {
+	size := 2 * len(q.buf)
+	if size < 2 {
+		size = 2
+	}
+	buf := make([]*request, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// reserve pre-sizes the ring to hold at least c entries without growing.
+func (q *reqRing) reserve(c int) {
+	size := 1
+	for size < c {
+		size <<= 1
+	}
+	if size > len(q.buf) {
+		q.buf = make([]*request, size)
+	}
+}

@@ -43,17 +43,45 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/busnet/busnet/internal/enum"
 	"github.com/busnet/busnet/internal/sim"
 )
 
-// Kind names accepted by Spec.Kind. The empty string normalizes to
+// Kind names a traffic shape. The empty string normalizes to
 // KindPoisson so zero-value Specs keep the paper's default model.
+type Kind string
+
+// Kind names accepted by Spec.Kind.
 const (
-	KindPoisson       = "poisson"
-	KindMMPP2         = "mmpp2"
-	KindOnOff         = "onoff"
-	KindDeterministic = "deterministic"
+	KindPoisson       Kind = "poisson"
+	KindMMPP2         Kind = "mmpp2"
+	KindOnOff         Kind = "onoff"
+	KindDeterministic Kind = "deterministic"
 )
+
+// ParseKind maps a traffic-shape name to its canonical Kind. The empty
+// string parses as KindPoisson, matching Spec.Normalized.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "":
+		return KindPoisson, nil
+	case KindPoisson, KindMMPP2, KindOnOff, KindDeterministic:
+		return Kind(s), nil
+	default:
+		return "", fmt.Errorf("workload: unknown traffic kind %q", s)
+	}
+}
+
+// String returns the kind's name, empty for the zero value (which every
+// consumer normalizes to KindPoisson).
+func (k Kind) String() string { return string(k) }
+
+// MarshalText renders the canonical name (the zero value marshals as
+// "poisson") and rejects unknown kinds at encode time.
+func (k Kind) MarshalText() ([]byte, error) { return enum.MarshalText(k, ParseKind) }
+
+// UnmarshalText parses exactly the names ParseKind accepts.
+func (k *Kind) UnmarshalText(text []byte) error { return enum.UnmarshalText(k, text, ParseKind) }
 
 // Source generates successive think times for one station. Next returns
 // the time until the station's next request, drawing any randomness it
@@ -79,7 +107,7 @@ type Source interface {
 // ThinkRate sweeps them directly; MMPP2 and OnOff carry their own rates
 // and ignore the base rate.
 type Spec struct {
-	Kind string `json:"kind,omitempty"`
+	Kind Kind `json:"kind,omitempty"`
 
 	// MMPP2: arrival rates inside hidden states 0 and 1 (≥ 0, not both
 	// zero) and the transition rates between them (> 0).
@@ -116,7 +144,7 @@ type param struct {
 // zeroParams rejects parameters that the spec's kind does not consume.
 // Catching them at validation time keeps a mistyped config from silently
 // running a different model than the author intended.
-func zeroParams(kind string, fields ...param) error {
+func zeroParams(kind Kind, fields ...param) error {
 	for _, f := range fields {
 		if f.v != 0 {
 			return fmt.Errorf("workload: %s = %v is not a parameter of %s traffic", f.name, f.v, kind)
@@ -224,7 +252,7 @@ func (s Spec) NewSource(baseRate float64) (Source, error) {
 		return &deterministic{interval: 1 / baseRate}, nil
 	case KindMMPP2:
 		return &modulated{
-			name:  KindMMPP2,
+			name:  string(KindMMPP2),
 			rate:  [2]float64{s.Rate0, s.Rate1},
 			leave: [2]float64{s.Switch01, s.Switch10},
 		}, nil
@@ -232,7 +260,7 @@ func (s Spec) NewSource(baseRate float64) (Source, error) {
 		meanOn := s.DutyCycle * s.CycleTime
 		meanOff := (1 - s.DutyCycle) * s.CycleTime
 		return &modulated{
-			name:  KindOnOff,
+			name:  string(KindOnOff),
 			rate:  [2]float64{s.BurstRate, 0},
 			leave: [2]float64{1 / meanOn, 1 / meanOff},
 		}, nil
@@ -244,7 +272,7 @@ func (s Spec) NewSource(baseRate float64) (Source, error) {
 type poisson struct{ rate float64 }
 
 func (p *poisson) Next(rng *sim.RNG) float64 { return rng.Exp(p.rate) }
-func (p *poisson) Name() string              { return KindPoisson }
+func (p *poisson) Name() string              { return string(KindPoisson) }
 
 // deterministic emits a fixed interval after a random initial phase —
 // the equilibrium (stationary) version of the periodic renewal process.
@@ -267,7 +295,7 @@ func (d *deterministic) Next(rng *sim.RNG) float64 {
 	}
 	return d.interval
 }
-func (d *deterministic) Name() string { return KindDeterministic }
+func (d *deterministic) Name() string { return string(KindDeterministic) }
 
 // modulated is the shared core of MMPP2 and OnOff: Poisson arrivals
 // whose rate is switched by a hidden 2-state Markov chain. rate[s] is

@@ -137,10 +137,10 @@ func TestSourceNames(t *testing.T) {
 		base float64
 		want string
 	}{
-		{Spec{}, 1, KindPoisson},
-		{Spec{Kind: KindDeterministic}, 1, KindDeterministic},
-		{Spec{Kind: KindMMPP2, Rate0: 1, Rate1: 2, Switch01: 1, Switch10: 1}, 0, KindMMPP2},
-		{Spec{Kind: KindOnOff, BurstRate: 1, DutyCycle: 0.5, CycleTime: 10}, 0, KindOnOff},
+		{Spec{}, 1, string(KindPoisson)},
+		{Spec{Kind: KindDeterministic}, 1, string(KindDeterministic)},
+		{Spec{Kind: KindMMPP2, Rate0: 1, Rate1: 2, Switch01: 1, Switch10: 1}, 0, string(KindMMPP2)},
+		{Spec{Kind: KindOnOff, BurstRate: 1, DutyCycle: 0.5, CycleTime: 10}, 0, string(KindOnOff)},
 	} {
 		if got := mustSource(t, tt.spec, tt.base).Name(); got != tt.want {
 			t.Errorf("Name() = %q, want %q", got, tt.want)

@@ -1,0 +1,27 @@
+package busnet
+
+// Compile-time lock on the deprecated surface: the legacy entry points
+// must keep their exact signatures for as long as they exist, so code
+// written against the pre-Evaluate API keeps compiling. Changing any of
+// these signatures (or removing a shim) breaks this file first, which
+// is the point — deprecation here means "frozen", not "drifting".
+var (
+	_ func(Config) (Prediction, error)          = Predict
+	_ func(Config) (FluidPrediction, error)     = FluidPredict
+	_ func(*Network) (Results, error)           = (*Network).Run
+	_ func(*Network) (Prediction, error)        = (*Network).Predict
+	_ func(*Network) (FluidPrediction, error)   = (*Network).FluidPredict
+	_ func(*Network) Config                     = (*Network).Config
+	_ func(Config) (*Network, error)            = FromConfig
+	_ func(...Option) (*Network, error)         = New
+	_ func(Config, Backend) (Evaluation, error) = Evaluate
+	_ func(Config) Topology                     = Config.Topology
+	_ func(string) (ArbiterKind, error)         = ParseArbiter
+	_ func(string) (Backend, error)             = ParseBackend
+	_ func(string) (string, error)              = ParseMode
+	_ func(string) (TrafficKind, error)         = ParseTrafficKind
+	_ func(string) (ServiceKind, error)         = ParseServiceKind
+
+	_ func(Topology, Backend) (TopologyEvaluation, error) = EvaluateTopology
+	_ func(Topology) (TopologyPrediction, error)          = PredictTopology
+)

@@ -167,49 +167,16 @@ func (n *Network) Config() Config { return n.cfg }
 // configuration (including Seed and Stream) yields identical Results.
 // Run builds all state afresh, so concurrent Runs on one Network are
 // safe.
+//
+// Deprecated: Run is Evaluate(n.Config(), BackendSim). New code should
+// call Evaluate and read Evaluation.Results; Run remains as a
+// bit-identical shim.
 func (n *Network) Run() (Results, error) {
-	eng := sim.NewEngine()
-	rng := sim.NewRNGStream(n.cfg.Seed, n.cfg.Stream)
-	model, err := bus.New(n.cfg.busConfig(), eng, rng)
+	ev, err := Evaluate(n.cfg, BackendSim)
 	if err != nil {
 		return Results{}, err
 	}
-	model.Start()
-	var warmupEvents uint64
-	if n.cfg.Warmup > 0 {
-		if err := eng.RunUntil(n.cfg.Warmup); err != nil {
-			return Results{}, err
-		}
-		model.ResetStats()
-		// Truncate the event count with the rest of the statistics so
-		// every Results field covers the same measured interval.
-		warmupEvents = eng.Processed()
-	}
-	if err := eng.RunUntil(n.cfg.Horizon); err != nil {
-		return Results{}, err
-	}
-	m := model.Snapshot()
-	return Results{
-		Config:            n.cfg,
-		MeasuredTime:      m.Elapsed,
-		Events:            eng.Processed() - warmupEvents,
-		Issued:            m.Issued,
-		Completions:       m.Completions,
-		Throughput:        m.Throughput,
-		Utilization:       m.Utilization,
-		BusUtilization:    m.BusUtilization,
-		MeanQueueLen:      m.MeanQueueLen,
-		MaxQueueLen:       m.MaxQueueLen,
-		MeanWait:          m.MeanWait,
-		WaitStdDev:        m.WaitStdDev,
-		MaxWait:           m.MaxWait,
-		MeanResponse:      m.MeanResponse,
-		WaitQuantiles:     QuantilesFrom(m.WaitHist),
-		ResponseQuantiles: QuantilesFrom(m.RespHist),
-		WaitHistogram:     m.WaitHist,
-		ResponseHistogram: m.RespHist,
-		Grants:            m.Grants,
-	}, nil
+	return *ev.Results, nil
 }
 
 // Predict returns the closed-form steady-state prediction for cfg: the
@@ -232,7 +199,21 @@ func (n *Network) Run() (Results, error) {
 // in the single-bus buffered-infinite regime; every other combination
 // is refused, since no exact closed form exists there. See
 // docs/service.md for the formula mapping.
+//
+// Deprecated: Predict is Evaluate(cfg, BackendAnalytic). New code
+// should call Evaluate and read Evaluation.Analytic; Predict remains
+// as an identical-output shim.
 func Predict(cfg Config) (Prediction, error) {
+	ev, err := Evaluate(cfg, BackendAnalytic)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return *ev.Analytic, nil
+}
+
+// predict is the closed-form backend behind Evaluate (and the Predict
+// shim); see Predict's doc for the exact model mapping.
+func predict(cfg Config) (Prediction, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return Prediction{}, err
@@ -281,4 +262,6 @@ func Predict(cfg Config) (Prediction, error) {
 
 // Predict returns the closed-form prediction for this network's
 // configuration; see the package-level Predict.
+//
+// Deprecated: use Evaluate(n.Config(), BackendAnalytic).
 func (n *Network) Predict() (Prediction, error) { return Predict(n.cfg) }

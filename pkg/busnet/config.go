@@ -88,14 +88,24 @@ type Config struct {
 // OnOff carry their own rates and ignore it.
 type Traffic = workload.Spec
 
-// Traffic kind strings accepted by Traffic.Kind. The empty string
-// normalizes to TrafficPoisson.
+// TrafficKind names a traffic shape. It is a string-backed enum with
+// String and JSON MarshalText/UnmarshalText: marshaling canonicalizes
+// the empty zero value to "poisson" and rejects unknown names on both
+// encode and decode.
+type TrafficKind = workload.Kind
+
+// Traffic kinds accepted by Traffic.Kind. The empty string normalizes
+// to TrafficPoisson.
 const (
 	TrafficPoisson       = workload.KindPoisson
 	TrafficMMPP2         = workload.KindMMPP2
 	TrafficOnOff         = workload.KindOnOff
 	TrafficDeterministic = workload.KindDeterministic
 )
+
+// ParseTrafficKind maps a traffic-shape name to its canonical kind. The
+// empty string parses as TrafficPoisson.
+func ParseTrafficKind(s string) (TrafficKind, error) { return workload.ParseKind(s) }
 
 // PoissonTraffic returns the default traffic shape: exponential think
 // times at Config.ThinkRate, the source paper's model.
@@ -135,14 +145,24 @@ func OnOffTraffic(burstRate, dutyCycle, cycleTime float64) Traffic {
 // sweeping the shape at fixed rates holds the offered load constant.
 type Service = servdist.Spec
 
-// Service kind strings accepted by Service.Kind. The empty string
-// normalizes to ServiceExponential.
+// ServiceKind names a service-time family. It is a string-backed enum
+// with String and JSON MarshalText/UnmarshalText: marshaling
+// canonicalizes the empty zero value to "exponential" and rejects
+// unknown names on both encode and decode.
+type ServiceKind = servdist.Kind
+
+// Service kinds accepted by Service.Kind. The empty string normalizes
+// to ServiceExponential.
 const (
 	ServiceExponential   = servdist.KindExponential
 	ServiceDeterministic = servdist.KindDeterministic
 	ServiceErlang        = servdist.KindErlang
 	ServiceHyperexp      = servdist.KindHyperexp
 )
+
+// ParseServiceKind maps a service-family name to its canonical kind.
+// The empty string parses as ServiceExponential.
+func ParseServiceKind(s string) (ServiceKind, error) { return servdist.ParseKind(s) }
 
 // ExponentialService returns the default service shape: exponential
 // transactions at Config.ServiceRate, the source paper's model (SCV 1).
@@ -258,6 +278,20 @@ func FormatWeights(ws []int) string {
 		parts[i] = strconv.Itoa(w)
 	}
 	return strings.Join(parts, ",")
+}
+
+// ParseMode maps a mode name to its canonical spelling — ModeUnbuffered
+// or ModeBuffered — mirroring ParseArbiter and ParseBackend. The empty
+// string parses as ModeUnbuffered, matching Config normalization.
+func ParseMode(s string) (string, error) {
+	m, err := parseMode(s)
+	if err != nil {
+		return "", err
+	}
+	if m == bus.Buffered {
+		return ModeBuffered, nil
+	}
+	return ModeUnbuffered, nil
 }
 
 // parseMode maps a Mode string to the domain type; "" is unbuffered.

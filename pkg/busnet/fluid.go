@@ -3,6 +3,7 @@ package busnet
 import (
 	"fmt"
 
+	"github.com/busnet/busnet/internal/enum"
 	"github.com/busnet/busnet/internal/fluid"
 )
 
@@ -25,6 +26,17 @@ const (
 	// simulation — the only backend whose cost is O(1) in N.
 	BackendFluid Backend = "fluid"
 )
+
+// String returns the backend's name, empty for the zero value (which
+// ParseBackend resolves to BackendSim).
+func (b Backend) String() string { return string(b) }
+
+// MarshalText renders the canonical backend name (the zero value
+// marshals as "sim") and rejects unknown backends at encode time.
+func (b Backend) MarshalText() ([]byte, error) { return enum.MarshalText(b, ParseBackend) }
+
+// UnmarshalText parses exactly the names ParseBackend accepts.
+func (b *Backend) UnmarshalText(text []byte) error { return enum.UnmarshalText(b, text, ParseBackend) }
 
 // ParseBackend maps a backend name to its Backend; the empty string
 // parses as BackendSim so zero-valued specs keep today's behavior.
@@ -67,7 +79,21 @@ type FluidPrediction = fluid.Prediction
 // Buffered mode requires a finite BufferCap: an infinite buffer has no
 // finite occupancy state space, and its stable regime is already
 // covered exactly by Predict's Erlang-C forms.
+//
+// Deprecated: FluidPredict is Evaluate(cfg, BackendFluid). New code
+// should call Evaluate and read Evaluation.Fluid; FluidPredict remains
+// as an identical-output shim.
 func FluidPredict(cfg Config) (FluidPrediction, error) {
+	ev, err := Evaluate(cfg, BackendFluid)
+	if err != nil {
+		return FluidPrediction{}, err
+	}
+	return *ev.Fluid, nil
+}
+
+// fluidPredict is the mean-field backend behind Evaluate (and the
+// FluidPredict shim); see FluidPredict's doc for the model's domain.
+func fluidPredict(cfg Config) (FluidPrediction, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return FluidPrediction{}, err
@@ -110,4 +136,6 @@ func uniformWeights(ws []int) bool {
 
 // FluidPredict returns the mean-field prediction for this network's
 // configuration; see the package-level FluidPredict.
+//
+// Deprecated: use Evaluate(n.Config(), BackendFluid).
 func (n *Network) FluidPredict() (FluidPrediction, error) { return FluidPredict(n.cfg) }

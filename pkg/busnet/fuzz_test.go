@@ -18,10 +18,10 @@ func FuzzConfigValidate(f *testing.F) {
 	seed := func(cfg Config) {
 		f.Add(cfg.Processors, cfg.Buses, cfg.ThinkRate, cfg.ServiceRate,
 			cfg.Mode, cfg.BufferCap, cfg.Arbiter, cfg.Weights,
-			cfg.Traffic.Kind, cfg.Traffic.Rate0, cfg.Traffic.Rate1,
+			string(cfg.Traffic.Kind), cfg.Traffic.Rate0, cfg.Traffic.Rate1,
 			cfg.Traffic.Switch01, cfg.Traffic.Switch10,
 			cfg.Traffic.BurstRate, cfg.Traffic.DutyCycle, cfg.Traffic.CycleTime,
-			cfg.Service.Kind, cfg.Service.Shape, cfg.Service.SCV,
+			string(cfg.Service.Kind), cfg.Service.Shape, cfg.Service.SCV,
 			cfg.Horizon, cfg.Warmup, cfg.Quantiles)
 	}
 	seed(DefaultConfig())
@@ -67,10 +67,10 @@ func FuzzConfigValidate(f *testing.F) {
 			BufferCap:   bufferCap,
 			Arbiter:     arbiter,
 			Weights:     weights,
-			Traffic: Traffic{Kind: kind, Rate0: rate0, Rate1: rate1,
+			Traffic: Traffic{Kind: TrafficKind(kind), Rate0: rate0, Rate1: rate1,
 				Switch01: sw01, Switch10: sw10,
 				BurstRate: burst, DutyCycle: duty, CycleTime: cycle},
-			Service:   Service{Kind: svcKind, Shape: svcShape, SCV: svcSCV},
+			Service:   Service{Kind: ServiceKind(svcKind), Shape: svcShape, SCV: svcSCV},
 			Seed:      1,
 			Horizon:   horizon,
 			Warmup:    warmup,

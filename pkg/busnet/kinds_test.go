@@ -1,0 +1,188 @@
+package busnet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Every kind enum in the public surface round-trips the same way: Parse
+// canonicalizes ("" → default), MarshalText emits exactly the canonical
+// name, UnmarshalText accepts exactly what Parse accepts. The table
+// pins the canonical spellings so a renamed constant cannot silently
+// change the JSON dialect.
+func TestKindCanonicalNames(t *testing.T) {
+	for _, tt := range []struct {
+		in, want string
+		parse    func(string) (string, error)
+	}{
+		{"", "poisson", parseVia(ParseTrafficKind)},
+		{"poisson", "poisson", parseVia(ParseTrafficKind)},
+		{"mmpp2", "mmpp2", parseVia(ParseTrafficKind)},
+		{"onoff", "onoff", parseVia(ParseTrafficKind)},
+		{"deterministic", "deterministic", parseVia(ParseTrafficKind)},
+		{"", "exponential", parseVia(ParseServiceKind)},
+		{"exponential", "exponential", parseVia(ParseServiceKind)},
+		{"erlang", "erlang", parseVia(ParseServiceKind)},
+		{"hyperexp", "hyperexp", parseVia(ParseServiceKind)},
+		{"deterministic", "deterministic", parseVia(ParseServiceKind)},
+		{"", "sim", parseVia(ParseBackend)},
+		{"sim", "sim", parseVia(ParseBackend)},
+		{"analytic", "analytic", parseVia(ParseBackend)},
+		{"fluid", "fluid", parseVia(ParseBackend)},
+		{"", "unbuffered", ParseMode},
+		{"unbuffered", "unbuffered", ParseMode},
+		{"buffered", "buffered", ParseMode},
+		{"", "round-robin", parseVia(ParseArbiter)},
+		{"round-robin", "round-robin", parseVia(ParseArbiter)},
+		{"fixed-priority", "fixed-priority", parseVia(ParseArbiter)},
+		{"weighted-round-robin", "weighted-round-robin", parseVia(ParseArbiter)},
+	} {
+		got, err := tt.parse(tt.in)
+		if err != nil {
+			t.Errorf("parse(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("parse(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	for _, bad := range []string{"garbage", "Poisson", "SIM", " sim"} {
+		if _, err := ParseTrafficKind(bad); err == nil {
+			t.Errorf("ParseTrafficKind(%q) accepted", bad)
+		}
+		if _, err := ParseServiceKind(bad); err == nil {
+			t.Errorf("ParseServiceKind(%q) accepted", bad)
+		}
+		if _, err := ParseBackend(bad); err == nil {
+			t.Errorf("ParseBackend(%q) accepted", bad)
+		}
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) accepted", bad)
+		}
+		if _, err := ParseArbiter(bad); err == nil {
+			t.Errorf("ParseArbiter(%q) accepted", bad)
+		}
+	}
+}
+
+// parseVia adapts a typed Parse function to the string-out shape the
+// canonical-name table compares; fmt.Stringer supplies the name.
+func parseVia[K interface{ String() string }](parse func(string) (K, error)) func(string) (string, error) {
+	return func(s string) (string, error) {
+		k, err := parse(s)
+		if err != nil {
+			return "", err
+		}
+		return k.String(), nil
+	}
+}
+
+// The enums marshal through encoding/json via their TextMarshaler
+// implementations: canonical names in, canonical names out, unknown
+// names rejected on both sides.
+func TestKindJSONMarshaling(t *testing.T) {
+	var tk TrafficKind
+	blob, err := json.Marshal(tk)
+	if err != nil || string(blob) != `"poisson"` {
+		t.Errorf("zero TrafficKind marshaled (%s, %v), want \"poisson\"", blob, err)
+	}
+	if err := json.Unmarshal([]byte(`"mmpp2"`), &tk); err != nil || tk != TrafficMMPP2 {
+		t.Errorf("TrafficKind unmarshal = (%q, %v)", tk, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &tk); err == nil {
+		t.Error("TrafficKind accepted \"bogus\"")
+	}
+
+	var sk ServiceKind
+	if blob, err = json.Marshal(sk); err != nil || string(blob) != `"exponential"` {
+		t.Errorf("zero ServiceKind marshaled (%s, %v), want \"exponential\"", blob, err)
+	}
+	if err := json.Unmarshal([]byte(`"erlang"`), &sk); err != nil || sk != ServiceErlang {
+		t.Errorf("ServiceKind unmarshal = (%q, %v)", sk, err)
+	}
+
+	var b Backend
+	if blob, err = json.Marshal(b); err != nil || string(blob) != `"sim"` {
+		t.Errorf("zero Backend marshaled (%s, %v), want \"sim\"", blob, err)
+	}
+	if err := json.Unmarshal([]byte(`"fluid"`), &b); err != nil || b != BackendFluid {
+		t.Errorf("Backend unmarshal = (%q, %v)", b, err)
+	}
+	if _, err := json.Marshal(Backend("warp")); err == nil {
+		t.Error("unknown Backend marshaled")
+	}
+
+	var a ArbiterKind
+	if blob, err = json.Marshal(a); err != nil || string(blob) != `"round-robin"` {
+		t.Errorf("zero ArbiterKind marshaled (%s, %v), want \"round-robin\"", blob, err)
+	}
+	if err := json.Unmarshal([]byte(`"weighted-round-robin"`), &a); err != nil || a != WeightedRoundRobin {
+		t.Errorf("ArbiterKind unmarshal = (%q, %v)", a, err)
+	}
+	if _, err := json.Marshal(ArbiterKind(99)); err == nil {
+		t.Error("out-of-range ArbiterKind marshaled")
+	}
+	if err := json.Unmarshal([]byte(`"ArbiterKind(99)"`), &a); err == nil {
+		t.Error("ArbiterKind accepted its own out-of-range rendering")
+	}
+}
+
+// FuzzKindRoundTrip holds the shared contract for every kind enum: if a
+// name parses, marshaling the parsed kind reproduces exactly the
+// canonical name, unmarshaling that name is identity (parse is
+// idempotent on its own output), and names that fail to parse fail to
+// unmarshal too. One target covers all five enums so a helper change
+// that breaks the symmetry for any of them is a crasher.
+func FuzzKindRoundTrip(f *testing.F) {
+	for _, s := range []string{"", "poisson", "mmpp2", "onoff", "deterministic",
+		"exponential", "erlang", "hyperexp", "sim", "analytic", "fluid",
+		"unbuffered", "buffered", "round-robin", "fixed-priority",
+		"weighted-round-robin", "bogus", "POISSON", " sim", "sim "} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		checkRoundTrip(t, "TrafficKind", name, ParseTrafficKind)
+		checkRoundTrip(t, "ServiceKind", name, ParseServiceKind)
+		checkRoundTrip(t, "Backend", name, ParseBackend)
+		checkRoundTrip(t, "ArbiterKind", name, ParseArbiter)
+
+		// Mode is a plain string pair rather than a defined type, but its
+		// Parse must still be idempotent and reject what it rejects.
+		if canon, err := ParseMode(name); err == nil {
+			again, err := ParseMode(canon)
+			if err != nil || again != canon {
+				t.Fatalf("ParseMode not idempotent: %q → %q → (%q, %v)", name, canon, again, err)
+			}
+		}
+	})
+}
+
+// kindLike is what every typed enum exposes: a name and a text
+// marshaling pair wired through the same Parse function.
+type kindLike interface {
+	comparable
+	String() string
+	MarshalText() ([]byte, error)
+}
+
+func checkRoundTrip[K kindLike](t *testing.T, label, name string, parse func(string) (K, error)) {
+	t.Helper()
+	k, err := parse(name)
+	if err != nil {
+		return // rejected; nothing to round-trip
+	}
+	text, err := k.MarshalText()
+	if err != nil {
+		t.Fatalf("%s: parse(%q) accepted but MarshalText failed: %v", label, name, err)
+	}
+	again, err := parse(string(text))
+	if err != nil || again != k {
+		t.Fatalf("%s: round trip %q → %v → %s → (%v, %v) not identity",
+			label, name, k, text, again, err)
+	}
+	// Marshaling must be idempotent: the canonical name marshals to itself.
+	text2, err := again.MarshalText()
+	if err != nil || string(text2) != string(text) {
+		t.Fatalf("%s: canonical name %s re-marshaled to (%s, %v)", label, text, text2, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/enum"
 )
 
 // ArbiterKind names a bus arbitration policy.
@@ -34,6 +35,21 @@ func (k ArbiterKind) String() string {
 	default:
 		return fmt.Sprintf("ArbiterKind(%d)", int(k))
 	}
+}
+
+// MarshalText renders the arbiter's canonical name — the same string
+// ParseArbiter accepts — and rejects out-of-range kinds at encode time.
+func (k ArbiterKind) MarshalText() ([]byte, error) {
+	if _, err := ParseArbiter(k.String()); err != nil {
+		return nil, err
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses exactly the names ParseArbiter accepts,
+// including the empty-string RoundRobin default.
+func (k *ArbiterKind) UnmarshalText(text []byte) error {
+	return enum.UnmarshalText(k, text, ParseArbiter)
 }
 
 // Infinite marks an unbounded buffer in WithBuffer and Config.BufferCap.

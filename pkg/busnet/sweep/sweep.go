@@ -172,32 +172,32 @@ func predictOnly(backend busnet.Backend, points []busnet.Config) (Result, error)
 		pr := PointResult{Config: cfg.Normalized()}
 		switch backend {
 		case busnet.BackendFluid:
-			fp, err := busnet.FluidPredict(cfg)
+			ev, err := busnet.Evaluate(cfg, busnet.BackendFluid)
 			if err != nil {
 				return Result{}, fmt.Errorf("sweep: fluid backend, point %d: %w", p, err)
 			}
-			pr.Fluid = &fp
-			pr.Utilization = point(fp.Utilization)
-			pr.Throughput = point(fp.Throughput)
-			pr.MeanWait = point(fp.MeanWait)
-			pr.MeanQueueLen = point(fp.MeanQueueLen)
-			pr.MeanResponse = point(fp.MeanResponse)
+			pr.Fluid = ev.Fluid
+			pr.Utilization = point(ev.Utilization)
+			pr.Throughput = point(ev.Throughput)
+			pr.MeanWait = point(ev.MeanWait)
+			pr.MeanQueueLen = point(ev.MeanQueueLen)
+			pr.MeanResponse = point(ev.MeanResponse)
 			// The exact closed form rides along where it exists, so
 			// fluid-vs-exact gaps are visible in one artifact.
-			if pred, err := busnet.Predict(cfg); err == nil {
-				pr.Analytic = &pred
+			if aev, err := busnet.Evaluate(cfg, busnet.BackendAnalytic); err == nil {
+				pr.Analytic = aev.Analytic
 			}
 		case busnet.BackendAnalytic:
-			pred, err := busnet.Predict(cfg)
+			ev, err := busnet.Evaluate(cfg, busnet.BackendAnalytic)
 			if err != nil {
 				return Result{}, fmt.Errorf("sweep: analytic backend, point %d: %w", p, err)
 			}
-			pr.Analytic = &pred
-			pr.Utilization = point(pred.Utilization)
-			pr.Throughput = point(pred.Throughput)
-			pr.MeanWait = point(pred.MeanWait)
-			pr.MeanQueueLen = point(pred.MeanQueueLen)
-			pr.MeanResponse = point(pred.MeanResponse)
+			pr.Analytic = ev.Analytic
+			pr.Utilization = point(ev.Utilization)
+			pr.Throughput = point(ev.Throughput)
+			pr.MeanWait = point(ev.MeanWait)
+			pr.MeanQueueLen = point(ev.MeanQueueLen)
+			pr.MeanResponse = point(ev.MeanResponse)
 		}
 		out.Points[p] = pr
 	}
@@ -210,11 +210,11 @@ func predictOnly(backend busnet.Backend, points []busnet.Config) (Result, error)
 // random numbers) and independent within a point.
 func runJob(cfg busnet.Config, rep int) (busnet.Results, error) {
 	cfg.Stream += uint64(rep)
-	net, err := busnet.FromConfig(cfg)
+	ev, err := busnet.Evaluate(cfg, busnet.BackendSim)
 	if err != nil {
 		return busnet.Results{}, err
 	}
-	return net.Run()
+	return *ev.Results, nil
 }
 
 // reduce collapses one point's replications into CI statistics and
@@ -265,11 +265,11 @@ func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
 		pr.WaitQuantiles = busnet.QuantilesFrom(&waitHist)
 		pr.ResponseQuantiles = busnet.QuantilesFrom(&respHist)
 	}
-	if pred, err := busnet.Predict(cfg); err == nil {
-		pr.Analytic = &pred
+	if ev, err := busnet.Evaluate(cfg, busnet.BackendAnalytic); err == nil {
+		pr.Analytic = ev.Analytic
 	}
-	if fp, err := busnet.FluidPredict(cfg); err == nil {
-		pr.Fluid = &fp
+	if ev, err := busnet.Evaluate(cfg, busnet.BackendFluid); err == nil {
+		pr.Fluid = ev.Fluid
 	}
 	if keep {
 		pr.Runs = runs

@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+// TopologySpec describes one multi-hop experiment: an explicit list of
+// topology operating points (there is no grid algebra over graphs — a
+// sweep is usually one base topology copied and tweaked, e.g. over
+// bridge depths), replications per point, and the worker bound.
+// Replication and determinism semantics match Spec exactly:
+// replication r of every point runs RNG substream base.Stream + r, and
+// the output is bit-identical for any worker count.
+type TopologySpec struct {
+	Points       []busnet.Topology `json:"points"`
+	Replications int               `json:"replications"`
+	Workers      int               `json:"-"`
+	// Backend selects evaluation: BackendSim (default) simulates every
+	// (point, replication) job; BackendAnalytic evaluates the Jackson
+	// product-form overlay per point with no simulation (zero
+	// replications, CIUndefined stats). BackendFluid has no topology
+	// model and fails the sweep.
+	Backend busnet.Backend `json:"backend,omitempty"`
+}
+
+// HopStat is one node of a topology point reduced across replications.
+type HopStat struct {
+	Node         string `json:"node"`
+	Utilization  Stat   `json:"utilization"`
+	Blocked      Stat   `json:"blocked"`
+	Throughput   Stat   `json:"throughput"`
+	MeanQueueLen Stat   `json:"mean_queue_len"`
+	MeanWait     Stat   `json:"mean_wait"`
+	MeanResponse Stat   `json:"mean_response"`
+}
+
+// TopologyPointResult is one topology operating point reduced across
+// its replications: per-hop statistics plus the fabric-level summary —
+// total exit throughput and the flow-weighted mean end-to-end response.
+// Analytic carries the product-form overlay whenever PredictTopology
+// accepts the point (buffered-infinite Poisson/exponential fabrics);
+// with finite bridges it is the optimistic no-blocking bound, so the
+// sim-minus-analytic gap is the measured blocking penalty.
+type TopologyPointResult struct {
+	Topology   busnet.Topology            `json:"topology"`
+	Hops       []HopStat                  `json:"hops"`
+	Throughput Stat                       `json:"throughput"`
+	EndToEnd   Stat                       `json:"end_to_end_response"`
+	Analytic   *busnet.TopologyPrediction `json:"analytic,omitempty"`
+}
+
+// TopologyResult is a completed topology sweep, points in spec order.
+type TopologyResult struct {
+	Replications int                   `json:"replications"`
+	Points       []TopologyPointResult `json:"points"`
+}
+
+// RunTopology executes the spec with the same worker-pool discipline as
+// Run: every (point, replication) job evaluates on its own fabric and
+// substream, workers write only their own slots, and the first failing
+// job (in job order) aborts the sweep.
+func RunTopology(spec TopologySpec) (TopologyResult, error) {
+	backend, err := busnet.ParseBackend(string(spec.Backend))
+	if err != nil {
+		return TopologyResult{}, fmt.Errorf("sweep: %w", err)
+	}
+	if len(spec.Points) == 0 {
+		return TopologyResult{}, fmt.Errorf("sweep: topology sweep has no points")
+	}
+	if backend != busnet.BackendSim {
+		return predictTopologyOnly(backend, spec.Points)
+	}
+	reps := spec.Replications
+	if reps <= 0 {
+		reps = DefaultReplications
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nJobs := len(spec.Points) * reps
+	if workers > nJobs {
+		workers = nJobs
+	}
+	runs := make([]busnet.TopologyEvaluation, nJobs)
+	errs := make([]error, nJobs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t := spec.Points[j/reps]
+				t.Stream += uint64(j % reps)
+				runs[j], errs[j] = busnet.EvaluateTopology(t, busnet.BackendSim)
+			}
+		}()
+	}
+	for j := 0; j < nJobs; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return TopologyResult{}, fmt.Errorf("sweep: topology point %d replication %d: %w", j/reps, j%reps, err)
+		}
+	}
+	out := TopologyResult{Replications: reps, Points: make([]TopologyPointResult, len(spec.Points))}
+	for p, t := range spec.Points {
+		out.Points[p] = reduceTopology(t, runs[p*reps:(p+1)*reps])
+	}
+	return out, nil
+}
+
+// predictTopologyOnly evaluates every point with the product-form
+// overlay — no simulation, no replications, Stats in the
+// single-replication encoding (mirroring predictOnly).
+func predictTopologyOnly(backend busnet.Backend, points []busnet.Topology) (TopologyResult, error) {
+	point := func(x float64) Stat { return Stat{Mean: x, Lo: x, Hi: x, CIUndefined: true} }
+	out := TopologyResult{Points: make([]TopologyPointResult, len(points))}
+	for p, t := range points {
+		ev, err := busnet.EvaluateTopology(t, backend)
+		if err != nil {
+			return TopologyResult{}, fmt.Errorf("sweep: %s backend, topology point %d: %w", backend, p, err)
+		}
+		pr := TopologyPointResult{
+			Topology:   t.Normalized(),
+			Analytic:   ev.Analytic,
+			Throughput: point(ev.Throughput),
+			EndToEnd:   point(ev.MeanResponse),
+			Hops:       make([]HopStat, len(ev.Analytic.Nodes)),
+		}
+		for k, n := range ev.Analytic.Nodes {
+			pr.Hops[k] = HopStat{
+				Node:         n.Node,
+				Utilization:  point(n.Utilization),
+				Blocked:      point(0),
+				Throughput:   point(n.Throughput),
+				MeanQueueLen: point(n.MeanQueueLen),
+				MeanWait:     point(n.MeanWait),
+				MeanResponse: point(n.MeanResponse),
+			}
+		}
+		out.Points[p] = pr
+	}
+	return out, nil
+}
+
+// reduceTopology collapses one point's replications into CI statistics
+// and attaches the product-form overlay when one exists.
+func reduceTopology(t busnet.Topology, runs []busnet.TopologyEvaluation) TopologyPointResult {
+	pick := func(f func(busnet.TopologyEvaluation) float64) Stat {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r)
+		}
+		return summarize(xs)
+	}
+	pr := TopologyPointResult{
+		// The canonical normalized topology as echoed by replication 0;
+		// its Stream is the spec base's (replication r ran base + r).
+		Topology:   runs[0].Results.Topology,
+		Throughput: pick(func(r busnet.TopologyEvaluation) float64 { return r.Throughput }),
+		EndToEnd:   pick(func(r busnet.TopologyEvaluation) float64 { return r.MeanResponse }),
+		Hops:       make([]HopStat, len(runs[0].Results.Hops)),
+	}
+	pr.Topology.Stream = t.Stream
+	hop := func(k int, f func(busnet.HopResult) float64) Stat {
+		xs := make([]float64, len(runs))
+		for i, r := range runs {
+			xs[i] = f(r.Results.Hops[k])
+		}
+		return summarize(xs)
+	}
+	for k := range pr.Hops {
+		pr.Hops[k] = HopStat{
+			Node:         runs[0].Results.Hops[k].Name,
+			Utilization:  hop(k, func(h busnet.HopResult) float64 { return h.Utilization }),
+			Blocked:      hop(k, func(h busnet.HopResult) float64 { return h.Blocked }),
+			Throughput:   hop(k, func(h busnet.HopResult) float64 { return h.Throughput }),
+			MeanQueueLen: hop(k, func(h busnet.HopResult) float64 { return h.MeanQueueLen }),
+			MeanWait:     hop(k, func(h busnet.HopResult) float64 { return h.MeanWait }),
+			MeanResponse: hop(k, func(h busnet.HopResult) float64 { return h.MeanResponse }),
+		}
+	}
+	if p, err := busnet.PredictTopology(t); err == nil {
+		pr.Analytic = &p
+	}
+	return pr
+}

@@ -1,0 +1,105 @@
+package busnet
+
+// TopologyBuilder assembles a Topology fluently — the graph analog of
+// the flat functional options. Methods return the builder for chaining
+// and never fail individually; Build validates the assembled topology
+// and reports the first error.
+//
+//	t, err := busnet.NewTopology().
+//		SourceNode("cpu", 16, 0.04, 1, "mem").
+//		TransitNode("mem", 1).
+//		Bridge("cpu", "mem", 4).
+//		Seed(42).
+//		Build()
+type TopologyBuilder struct {
+	t Topology
+}
+
+// NewTopology starts a builder with the flat defaults: seed 1, horizon
+// 100000, 10% warmup.
+func NewTopology() *TopologyBuilder {
+	return &TopologyBuilder{t: Topology{Seed: 1, Horizon: 100_000, Warmup: 10_000}}
+}
+
+// AddNode appends a fully specified node.
+func (b *TopologyBuilder) AddNode(n Node) *TopologyBuilder {
+	b.t.Nodes = append(b.t.Nodes, n)
+	return b
+}
+
+// SourceNode appends an unbuffered processor-bearing node — the paper's
+// blocking regime, extended to multi-hop: each of its processors blocks
+// until its request exits the fabric. route names the nodes visited
+// after this one, in hop order.
+func (b *TopologyBuilder) SourceNode(name string, processors int, thinkRate, serviceRate float64, route ...string) *TopologyBuilder {
+	return b.AddNode(Node{
+		Name: name, Processors: processors, ThinkRate: thinkRate,
+		ServiceRate: serviceRate, Mode: ModeUnbuffered, Route: route,
+	})
+}
+
+// BufferedSourceNode appends a processor-bearing node whose interfaces
+// queue up to cap requests (Infinite for unbounded) so processors keep
+// computing — the open-network regime the product-form overlay models.
+func (b *TopologyBuilder) BufferedSourceNode(name string, processors int, thinkRate, serviceRate float64, cap int, route ...string) *TopologyBuilder {
+	return b.AddNode(Node{
+		Name: name, Processors: processors, ThinkRate: thinkRate,
+		ServiceRate: serviceRate, Mode: ModeBuffered, BufferCap: cap, Route: route,
+	})
+}
+
+// TransitNode appends a node with no local processors: a pure bridged
+// hop that only serves through-traffic.
+func (b *TopologyBuilder) TransitNode(name string, serviceRate float64) *TopologyBuilder {
+	return b.AddNode(Node{Name: name, ServiceRate: serviceRate})
+}
+
+// Bridge connects from → to with a buffer of depth slots (Infinite for
+// unbounded). Every consecutive pair in a route needs one.
+func (b *TopologyBuilder) Bridge(from, to string, depth int) *TopologyBuilder {
+	b.t.Links = append(b.t.Links, Link{From: from, To: to, Buffer: depth})
+	return b
+}
+
+// Seed sets the experiment seed.
+func (b *TopologyBuilder) Seed(seed int64) *TopologyBuilder {
+	b.t.Seed = seed
+	return b
+}
+
+// Stream picks the replication substream within the seed's experiment.
+func (b *TopologyBuilder) Stream(stream uint64) *TopologyBuilder {
+	b.t.Stream = stream
+	return b
+}
+
+// Horizon sets the run length, rescaling the warmup to keep its
+// fraction of the run constant (like Config.AtHorizon). Call Warmup
+// after Horizon to set an absolute warmup instead.
+func (b *TopologyBuilder) Horizon(h float64) *TopologyBuilder {
+	if b.t.Horizon > 0 {
+		b.t.Warmup = b.t.Warmup / b.t.Horizon * h
+	}
+	b.t.Horizon = h
+	return b
+}
+
+// Warmup sets the absolute warmup time truncated from statistics.
+func (b *TopologyBuilder) Warmup(w float64) *TopologyBuilder {
+	b.t.Warmup = w
+	return b
+}
+
+// Quantiles toggles per-hop and end-to-end latency histograms.
+func (b *TopologyBuilder) Quantiles(on bool) *TopologyBuilder {
+	b.t.Quantiles = on
+	return b
+}
+
+// Build validates the assembled topology and returns it normalized.
+func (b *TopologyBuilder) Build() (Topology, error) {
+	if err := b.t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return b.t.Normalized(), nil
+}
