@@ -14,7 +14,10 @@ import (
 // mean/ci95 per metric, then the analytic prediction (blank when no
 // steady state exists), then the topology columns — node name, inbound
 // bridge depth, blocked fraction, and the point's end-to-end response —
-// blank on flat rows.
+// blank on flat rows, then the engine/model diagnostics counters summed
+// across the point's replications (blank on model-backend rows, which
+// run no simulation; repeated on every hop row of a topology point,
+// like the end-to-end response).
 var csvHeader = []string{
 	"scenario", "curve", "backend", "point",
 	"processors", "buses", "think_rate", "service_rate", "service", "service_detail",
@@ -32,6 +35,10 @@ var csvHeader = []string{
 	"fluid_util", "fluid_throughput", "fluid_wait", "fluid_qlen", "fluid_response", "fluid_blocked",
 	"node", "bridge_depth", "blocked_mean", "blocked_ci95",
 	"e2e_response_mean", "e2e_response_ci95",
+	"events_scheduled", "events_fired", "events_cancelled",
+	"pool_hits", "pool_misses",
+	"wheel_overflow", "wheel_rebases", "wheel_resizes",
+	"stalls", "arb_scan_slots", "bridge_crossings", "bridge_blocks",
 }
 
 // writeCSV flattens a report to CSV. Floats are rendered with
@@ -60,6 +67,18 @@ func writeCSV(w io.Writer, report Report) error {
 			return []string{"", "", ""}
 		}
 		return []string{f(q.P50), f(q.P95), f(q.P99)}
+	}
+	diagnostics := func(d *busnet.Diagnostics) []string {
+		if d == nil {
+			return make([]string, 12)
+		}
+		u := func(x uint64) string { return strconv.FormatUint(x, 10) }
+		return []string{
+			u(d.Engine.Scheduled), u(d.Engine.Fired), u(d.Engine.Cancelled),
+			u(d.Engine.PoolHits), u(d.Engine.PoolMisses),
+			u(d.Engine.WheelOverflow), u(d.Engine.WheelRebases), u(d.Engine.WheelResizes),
+			u(d.Stalls), u(d.ArbScanSlots), u(d.BridgeCrossings), u(d.BridgeBlocks),
+		}
 	}
 	// writeTopologyRows renders one row per (point, hop): the hop's node
 	// configuration in the shared config columns, its reduced statistics
@@ -115,6 +134,7 @@ func writeCSV(w io.Writer, report Report) error {
 				row = append(row, h.Node, inbound)
 				row = append(row, stat(h.Blocked)...)
 				row = append(row, stat(pt.EndToEnd)...)
+				row = append(row, diagnostics(pt.Diagnostics)...)
 				if err := cw.Write(row); err != nil {
 					return err
 				}
@@ -160,6 +180,7 @@ func writeCSV(w io.Writer, report Report) error {
 				row = append(row, "", "", "", "", "", "")
 			}
 			row = append(row, "", "", "", "", "", "") // topology columns are blank on flat rows
+			row = append(row, diagnostics(pt.Diagnostics)...)
 			if err := cw.Write(row); err != nil {
 				return err
 			}

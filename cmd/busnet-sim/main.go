@@ -8,13 +8,20 @@
 //
 //	busnet-sim -list
 //	busnet-sim -scenario paper-curves [-seed 42] [-horizon 100000] \
-//	    [-replications 10] [-workers 0] [-format json|csv]
+//	    [-replications 10] [-workers 0] [-format json|csv] \
+//	    [-progress] [-trace FILE] [-manifest FILE] \
+//	    [-cpuprofile FILE] [-memprofile FILE] [-exectrace FILE]
 //
 // Output is deterministic: equal seeds and parameters reproduce reports
-// byte for byte, regardless of -workers.
+// byte for byte, regardless of -workers. The report owns stdout
+// exclusively; everything observational — the -progress status line,
+// errors — goes to stderr, and the -trace/-manifest/-*profile
+// artifacts go to their own files, so piping stdout stays safe under
+// any flag combination.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -22,6 +29,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
+	"time"
+
+	"github.com/busnet/busnet/internal/prof"
+	"github.com/busnet/busnet/pkg/busnet/sweep"
 )
 
 // Report is the top-level JSON document emitted for a scenario run.
@@ -44,6 +56,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reps    = fs.Int("replications", 10, "independent replications per grid point")
 		workers = fs.Int("workers", 0, "simulation worker goroutines; 0 = all CPUs (never affects results)")
 		format  = fs.String("format", "json", "output format: json or csv")
+
+		progress   = fs.Bool("progress", false, "live sweep progress (jobs, points, rate, ETA, occupancy) on stderr")
+		traceFile  = fs.String("trace", "", "write a Chrome trace of one traced replication of the first sim point to FILE")
+		manifest   = fs.String("manifest", "", "write a JSON run manifest (config hash, seeds, backends, go version, wall time, output hash) to FILE")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to FILE")
+		exectrace  = fs.String("exectrace", "", "write a Go execution trace of the run to FILE")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -91,9 +110,58 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, n)
 		return nil
 	}
-	curves, err := sc.Run(params)
+	// The reporter goroutine owns the status line; stopReporter is
+	// idempotent (deferred for error paths, called explicitly before the
+	// report) so stdout is never raced by a stderr repaint.
+	stopReporter := func() {}
+	if *progress {
+		p := new(sweep.Progress)
+		params.Progress = p
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		launched := time.Now()
+		go func() {
+			defer close(done)
+			reportProgress(stderr, p, launched, 200*time.Millisecond, stop)
+		}()
+		var once sync.Once
+		stopReporter = func() {
+			once.Do(func() {
+				close(stop)
+				<-done
+			})
+		}
+		defer stopReporter()
+	}
+	start := time.Now()
+	psess, err := prof.Start(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
-		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		return err
+	}
+	curves, runErr := sc.Run(params)
+	stopReporter()
+	if err := psess.Stop(); err != nil {
+		if runErr == nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "busnet-sim:", err)
+	}
+	if runErr != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, runErr)
+	}
+	wall := time.Since(start).Seconds()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := writeScenarioTrace(sc, params, f); err != nil {
+			f.Close()
+			return fmt.Errorf("scenario %s: trace: %w", sc.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	report := Report{
 		Scenario:    sc.Name,
@@ -101,12 +169,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Params:      params,
 		Curves:      curves,
 	}
+	// The report streams through a hasher on its way to stdout so the
+	// manifest can fingerprint exactly the bytes the consumer saw.
+	hasher := sha256.New()
+	out := io.MultiWriter(stdout, hasher)
 	if *format == "csv" {
-		return writeCSV(stdout, report)
+		if err := writeCSV(out, report); err != nil {
+			return err
+		}
+	} else {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if *manifest != "" {
+		m, err := buildManifest(sc, params, *format, wall, hasher.Sum(nil))
+		if err != nil {
+			return err
+		}
+		if err := writeManifestFile(*manifest, m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func main() {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/busnet/busnet/pkg/busnet/sweep"
+)
+
+// reportProgress polls a sweep.Progress and repaints one status line on
+// w (stderr in practice — stdout is reserved for the report) until stop
+// closes, then prints a final newline-terminated summary. The line
+// carries jobs and points done, a smoothed job completion rate, the ETA
+// it implies, and live worker occupancy. Rates come from successive
+// snapshots against this goroutine's own clock: the tracker itself
+// records counts only, so polling cadence never touches the sweep.
+// start anchors the rate clock: it is taken by the caller before the
+// sweep launches, so a sweep that finishes before this goroutine is
+// even scheduled still reports a sane jobs/sec on its final line.
+func reportProgress(w io.Writer, p *sweep.Progress, start time.Time, interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var (
+		lastDone int64
+		lastT    = start
+		rate     float64 // EWMA of jobs/sec
+	)
+	line := func(s sweep.ProgressSnapshot, final bool) {
+		now := time.Now()
+		if dt := now.Sub(lastT).Seconds(); dt > 0 {
+			inst := float64(s.DoneJobs-lastDone) / dt
+			if rate == 0 {
+				rate = inst
+			} else {
+				rate = 0.7*rate + 0.3*inst
+			}
+		}
+		lastDone, lastT = s.DoneJobs, now
+		eta := "?"
+		if rate > 0 {
+			eta = (time.Duration(float64(s.TotalJobs-s.DoneJobs) / rate * float64(time.Second))).Round(time.Second).String()
+		}
+		end := "\r"
+		if final {
+			end = "\n"
+		}
+		fmt.Fprintf(w, "\rprogress: %d/%d jobs  %d/%d points  %.1f jobs/s  eta %s  workers %d/%d%s",
+			s.DoneJobs, s.TotalJobs, s.DonePoints, s.TotalPoints, rate, eta, s.Active, s.Workers, end)
+	}
+	for {
+		select {
+		case <-tick.C:
+			line(p.Snapshot(), false)
+		case <-stop:
+			line(p.Snapshot(), true)
+			return
+		}
+	}
+}

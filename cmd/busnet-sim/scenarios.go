@@ -17,6 +17,11 @@ type Params struct {
 	Horizon      float64 `json:"horizon"`
 	Replications int     `json:"replications"`
 	Workers      int     `json:"-"`
+	// Progress, when non-nil, receives live completion counts from each
+	// curve's sweep in turn (every sweep resets it). Like Workers it is
+	// an execution detail — attaching it never changes any number — so
+	// it too is excluded from the report echo.
+	Progress *sweep.Progress `json:"-"`
 }
 
 // base is the shared starting configuration every curve derives from:
@@ -108,6 +113,7 @@ func (s Scenario) Run(p Params) ([]CurveResult, error) {
 				Replications: p.Replications,
 				Workers:      p.Workers,
 				Backend:      backend,
+				Progress:     p.Progress,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("curve %s: %w", c.Name, err)
@@ -119,6 +125,7 @@ func (s Scenario) Run(p Params) ([]CurveResult, error) {
 				Replications: p.Replications,
 				Workers:      p.Workers,
 				Backend:      backend,
+				Progress:     p.Progress,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("curve %s: %w", c.Name, err)

@@ -19,7 +19,8 @@ type Arbiter interface {
 // last grantee, so every processor is at most n-1 grants away from
 // service regardless of load pattern.
 type RoundRobinArbiter struct {
-	last int // index of the last grantee; start scanning at last+1
+	last    int    // index of the last grantee; start scanning at last+1
+	scanned uint64 // total slots probed across all Select calls
 }
 
 // NewRoundRobin returns a round-robin arbiter for any processor count.
@@ -32,12 +33,14 @@ func NewRoundRobin() *RoundRobinArbiter { return &RoundRobinArbiter{last: -1} }
 // `(last+off) % n` costs more than the probe itself.
 func (a *RoundRobinArbiter) Select(pending []bool) int {
 	for i := a.last + 1; i < len(pending); i++ {
+		a.scanned++
 		if pending[i] {
 			a.last = i
 			return i
 		}
 	}
 	for i := 0; i <= a.last; i++ {
+		a.scanned++
 		if pending[i] {
 			a.last = i
 			return i
@@ -49,6 +52,9 @@ func (a *RoundRobinArbiter) Select(pending []bool) int {
 // Name implements Arbiter.
 func (a *RoundRobinArbiter) Name() string { return "round-robin" }
 
+// ScanSlots reports the total slots probed, feeding Counters.ArbScanSlots.
+func (a *RoundRobinArbiter) ScanSlots() uint64 { return a.scanned }
+
 // WeightedRoundRobinArbiter generalizes round-robin with per-processor
 // integer weights: cycling through the processors in round-robin order,
 // it grants processor i up to weights[i] consecutive transactions before
@@ -59,8 +65,9 @@ func (a *RoundRobinArbiter) Name() string { return "round-robin" }
 // nothing pending, so the bus never idles while any processor waits.
 type WeightedRoundRobinArbiter struct {
 	weights []int
-	current int // processor holding the grant window; -1 before the first grant
-	left    int // grants remaining in current's window
+	current int    // processor holding the grant window; -1 before the first grant
+	left    int    // grants remaining in current's window
+	scanned uint64 // total slots probed across all Select calls
 }
 
 // NewWeightedRoundRobin returns a weighted round-robin arbiter. It
@@ -86,10 +93,12 @@ func NewWeightedRoundRobin(weights []int) (*WeightedRoundRobinArbiter, error) {
 // of its weight.
 func (a *WeightedRoundRobinArbiter) Select(pending []bool) int {
 	if a.current >= 0 && a.left > 0 && pending[a.current] {
+		a.scanned++
 		a.left--
 		return a.current
 	}
 	for i := a.current + 1; i < len(pending); i++ {
+		a.scanned++
 		if pending[i] {
 			a.current = i
 			a.left = a.weights[i] - 1
@@ -97,6 +106,7 @@ func (a *WeightedRoundRobinArbiter) Select(pending []bool) int {
 		}
 	}
 	for i := 0; i <= a.current; i++ {
+		a.scanned++
 		if pending[i] {
 			a.current = i
 			a.left = a.weights[i] - 1
@@ -109,6 +119,9 @@ func (a *WeightedRoundRobinArbiter) Select(pending []bool) int {
 // Name implements Arbiter.
 func (a *WeightedRoundRobinArbiter) Name() string { return "weighted-round-robin" }
 
+// ScanSlots reports the total slots probed, feeding Counters.ArbScanSlots.
+func (a *WeightedRoundRobinArbiter) ScanSlots() uint64 { return a.scanned }
+
 // Stations returns the number of processors the weight vector covers;
 // Config.Validate checks it against the processor count.
 func (a *WeightedRoundRobinArbiter) Stations() int { return len(a.weights) }
@@ -116,7 +129,9 @@ func (a *WeightedRoundRobinArbiter) Stations() int { return len(a.weights) }
 // FixedPriorityArbiter always grants the lowest-index pending processor,
 // modeling a daisy-chained priority line: processor 0 can starve the rest
 // under saturation, which is exactly the behavior worth simulating.
-type FixedPriorityArbiter struct{}
+type FixedPriorityArbiter struct {
+	scanned uint64 // total slots probed across all Select calls
+}
 
 // NewFixedPriority returns the fixed-priority arbiter.
 func NewFixedPriority() *FixedPriorityArbiter { return &FixedPriorityArbiter{} }
@@ -124,6 +139,7 @@ func NewFixedPriority() *FixedPriorityArbiter { return &FixedPriorityArbiter{} }
 // Select returns the lowest pending index.
 func (a *FixedPriorityArbiter) Select(pending []bool) int {
 	for i, p := range pending {
+		a.scanned++
 		if p {
 			return i
 		}
@@ -133,3 +149,6 @@ func (a *FixedPriorityArbiter) Select(pending []bool) int {
 
 // Name implements Arbiter.
 func (a *FixedPriorityArbiter) Name() string { return "fixed-priority" }
+
+// ScanSlots reports the total slots probed, feeding Counters.ArbScanSlots.
+func (a *FixedPriorityArbiter) ScanSlots() uint64 { return a.scanned }

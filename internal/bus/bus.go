@@ -148,10 +148,13 @@ type Network struct {
 	busy       int       // buses currently serving
 	serving    []int     // per-bus processor whose request it serves; -1 when idle
 	servIssued []float64 // per-bus issue time of the request in service
+	servStart  []float64 // per-bus dispatch time of the request in service
 	completeFn []func()  // per-bus completion callbacks, built once so the
 	// dispatch hot path schedules without allocating a closure per grant
 	issueFn []func() // per-processor issue callbacks, built once so every
 	// think-time event schedules without allocating a closure
+	probe  Probe  // nil-by-default observability seam
+	stalls uint64 // requests held at a full buffered-finite interface
 
 	statsStart  float64
 	util        sim.TimeWeighted   // fraction of busy buses (0/1 when nBuses == 1)
@@ -184,6 +187,7 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Network, error) {
 		grants:     make([]uint64, cfg.Processors),
 		serving:    make([]int, cfg.buses()),
 		servIssued: make([]float64, cfg.buses()),
+		servStart:  make([]float64, cfg.buses()),
 		busUtil:    make([]sim.TimeWeighted, cfg.buses()),
 	}
 	if n.sources == nil {
@@ -270,6 +274,10 @@ func (n *Network) issue(i int) {
 			// stalls until the bus drains a slot. The original issue time
 			// is kept so its waiting time includes the stall.
 			n.stalled[i] = now
+			n.stalls++
+			if n.probe != nil {
+				n.probe.Stall(now, i)
+			}
 		}
 	}
 }
@@ -323,9 +331,13 @@ func (n *Network) tryDispatch() {
 		b := n.freeBus()
 		n.serving[b] = j
 		n.servIssued[b] = issuedAt
+		n.servStart[b] = now
 		n.busy++
 		n.util.Set(float64(n.busy)/float64(n.nBuses), now)
 		n.busUtil[b].Set(1, now)
+		if n.probe != nil {
+			n.probe.Grant(now, j, b, now-issuedAt)
+		}
 		n.eng.Schedule(n.service.Sample(n.rng), n.completeFn[b])
 	}
 }
@@ -343,6 +355,9 @@ func (n *Network) complete(b int) {
 	n.busy--
 	n.util.Set(float64(n.busy)/float64(n.nBuses), now)
 	n.busUtil[b].Set(0, now)
+	if n.probe != nil {
+		n.probe.Complete(now, released, b, now-n.servStart[b])
+	}
 	if n.cfg.Mode == Unbuffered {
 		// Release the blocked processor back to thinking.
 		n.scheduleThink(released)

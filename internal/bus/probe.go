@@ -1,0 +1,60 @@
+package bus
+
+// Probe receives domain-level callbacks from a Network — the
+// arbitration/service lifecycle the engine-level sim.Probe cannot see.
+// Nil (the default) disables the seam at the cost of one predicted
+// branch per hook point; the steady-state alloc locks and the
+// probe-disabled benchmarks pin that the disabled path stays free.
+//
+// The same contract as sim.Probe applies: callbacks run synchronously
+// inside engine events, must not allocate if the run's zero-allocation
+// contract is to survive with the probe attached, must not mutate the
+// network, and arrive in a deterministic order for a fixed
+// (Config, Seed, Stream).
+type Probe interface {
+	// Grant fires when the arbiter dispatches station's request onto bus
+	// b; wait is the request's time in the interface queue (issue to
+	// service start, including any stall at a full interface).
+	Grant(now float64, station, b int, wait float64)
+	// Stall fires when a buffered-finite interface is full and the
+	// issuing station blocks holding its request.
+	Stall(now float64, station int)
+	// Complete fires when bus b finishes station's request; busyFor is
+	// the bus's occupancy span for this grant (service time).
+	Complete(now float64, station, b int, busyFor float64)
+}
+
+// Counters is the network's deterministic self-measurement, mirroring
+// sim.EngineCounters one layer up: totals over the whole run (not
+// warmup-truncated), bit-identical for equal (Config, Seed, Stream)
+// with or without a probe attached.
+type Counters struct {
+	// Stalls counts requests held at a full buffered-finite interface —
+	// each is one processor blocked by backpressure.
+	Stalls uint64 `json:"stalls"`
+	// ArbScanSlots is the total number of claimant slots the arbiter
+	// probed across all Select calls (reported by the built-in arbiters;
+	// zero for arbiters that don't count). ArbScanSlots/Grants is the
+	// mean arbitration scan length — the "how hard is arbitration
+	// working" signal.
+	ArbScanSlots uint64 `json:"arb_scan_slots"`
+}
+
+// scanCounting is the optional arbiter extension behind
+// Counters.ArbScanSlots; all built-in arbiters implement it.
+type scanCounting interface {
+	ScanSlots() uint64
+}
+
+// SetProbe attaches p to the network's grant/stall/complete hook
+// points, or detaches with nil. Attach before Start.
+func (n *Network) SetProbe(p Probe) { n.probe = p }
+
+// Counters returns the network's deterministic counters as of now.
+func (n *Network) Counters() Counters {
+	c := Counters{Stalls: n.stalls}
+	if sc, ok := n.cfg.Arbiter.(scanCounting); ok {
+		c.ArbScanSlots = sc.ScanSlots()
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+// Package prof is a small shared helper for the standard Go profiling
+// trio — CPU profile, heap profile, execution trace — so every binary
+// in this repo exposes the same three flags with the same semantics
+// instead of hand-rolling pprof plumbing. A Session is started before
+// the workload and stopped after it; empty filenames disable the
+// corresponding collector, and Start with three empty names returns a
+// nil Session whose Stop is a no-op, so callers can wire the flags
+// unconditionally.
+package prof
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Session is a set of live profile collectors. Stop it exactly once.
+type Session struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// Start begins the collectors named by non-empty paths: a CPU profile
+// at cpu, an execution trace at exec, and (deferred until Stop, when
+// the workload's live heap is the interesting one) a heap profile at
+// mem. On any error it unwinds whatever it already started.
+func Start(cpu, mem, exec string) (*Session, error) {
+	if cpu == "" && mem == "" && exec == "" {
+		return nil, nil
+	}
+	s := &Session{memPath: mem}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if exec != "" {
+		f, err := os.Create(exec)
+		if err != nil {
+			s.unwind()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.unwind()
+			return nil, fmt.Errorf("prof: execution trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	return s, nil
+}
+
+// unwind stops any collector Start already launched, for error paths.
+func (s *Session) unwind() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+}
+
+// Stop flushes and closes every active collector, then writes the heap
+// profile if one was requested — after a GC, so it reports live memory
+// rather than garbage. Nil-safe; returns the first error but always
+// attempts every collector.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	var errs []error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		if err := s.traceFile.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		s.traceFile = nil
+	}
+	if s.memPath != "" {
+		runtime.GC()
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				errs = append(errs, err)
+			}
+			if err := f.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		s.memPath = ""
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("prof: %w", errors.Join(errs...))
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNilSessionIsNoOp(t *testing.T) {
+	s, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("all-empty Start returned a live session")
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+func TestAllThreeProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	exec := filepath.Join(dir, "exec.trace")
+	s, err := Start(cpu, mem, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the CPU profile and trace have something to see.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, exec} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Stopping twice is harmless.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestStartFailsOnBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), "", ""); err == nil {
+		t.Fatal("Start accepted an uncreatable cpu profile path")
+	}
+}

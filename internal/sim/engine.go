@@ -21,6 +21,15 @@ type Engine struct {
 	now       float64
 	processed uint64
 	running   bool
+
+	// Observability: probe is the nil-by-default hook seam (see Probe);
+	// the counters are always-on plain increments — cheap enough to live
+	// on the hot path, and they are what makes a run's Diagnostics
+	// bit-deterministic whether or not a probe is attached.
+	probe      Probe
+	cancelled  uint64
+	poolHits   uint64
+	poolMisses uint64
 }
 
 // NewEngine returns an engine with the clock at zero, scheduling on the
@@ -66,6 +75,9 @@ func (e *Engine) push(t float64, fn func()) *Event {
 	ev.Time = t
 	ev.Fn = fn
 	e.sched.Push(ev)
+	if e.probe != nil {
+		e.probe.EventScheduled(t, e.now)
+	}
 	return ev
 }
 
@@ -77,6 +89,10 @@ func (e *Engine) push(t float64, fn func()) *Event {
 func (e *Engine) Cancel(ev *Event) bool {
 	if !e.sched.Remove(ev) {
 		return false
+	}
+	e.cancelled++
+	if e.probe != nil {
+		e.probe.EventCancelled(ev.Time, e.now)
 	}
 	e.release(ev)
 	return true
@@ -90,8 +106,10 @@ func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free = e.free[:n-1]
+		e.poolHits++
 		return ev
 	}
+	e.poolMisses++
 	return new(Event)
 }
 
@@ -127,6 +145,9 @@ func (e *Engine) RunUntil(horizon float64) error {
 		}
 		e.now = ev.Time
 		e.processed++
+		if e.probe != nil {
+			e.probe.EventFired(e.now)
+		}
 		fn := ev.Fn
 		e.release(ev)
 		fn()
@@ -151,6 +172,9 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.Time
 		e.processed++
+		if e.probe != nil {
+			e.probe.EventFired(e.now)
+		}
 		fn := ev.Fn
 		e.release(ev)
 		fn()

@@ -59,6 +59,15 @@ type TimingWheel struct {
 	gapEWMA float64
 	lastPop float64
 	popped  bool
+
+	// Self-measurement totals surfaced through Engine.Counters: pushes
+	// that landed in the overflow level, window slides, and the slides
+	// that also reallocated the bucket array. Deterministic for a fixed
+	// push/pop sequence, so they double as regression canaries for the
+	// adaptive sizing heuristics.
+	nOverflow uint64
+	nRebases  uint64
+	nResizes  uint64
 }
 
 const (
@@ -99,6 +108,7 @@ func (w *TimingWheel) Push(e *Event) {
 		// Beyond the window (or NaN arithmetic from an infinite base):
 		// park in the sorted overflow level.
 		e.slot = slotOverflow
+		w.nOverflow++
 		w.overflow.pushKeyed(e)
 		return
 	}
@@ -250,6 +260,7 @@ func (w *TimingWheel) unbucket(e *Event) {
 // now maps inside the window. Each event migrates at most once, so the
 // O(log n) heap pops amortize to a constant per far-future event.
 func (w *TimingWheel) rebase() {
+	w.nRebases++
 	if w.gapEWMA > 0 && w.gapEWMA < math.MaxFloat64 {
 		// Half the mean inter-fire gap: the bitmap makes empty buckets
 		// nearly free, so erring toward sparse buckets keeps the
@@ -301,8 +312,15 @@ func (w *TimingWheel) resize() {
 		target <<= 1
 	}
 	if target > len(w.buckets) || target*4 <= len(w.buckets) {
+		w.nResizes++
 		w.buckets = make([]*Event, target)
 		w.bits = make([]uint64, target/64)
 	}
 	w.nbuckF = float64(len(w.buckets))
+}
+
+// counters reports the wheel's self-measurement totals; the seam
+// Engine.Counters reads through the scheduler interface.
+func (w *TimingWheel) counters() (overflow, rebases, resizes uint64) {
+	return w.nOverflow, w.nRebases, w.nResizes
 }

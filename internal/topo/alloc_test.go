@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/sim"
+)
+
+// loadedTandem is the topology twin of the bus package's steady-state
+// fixture: a loaded 16-station buffered segment feeding a memory
+// segment over a finite bridge, so a steady-state window exercises
+// arbitration, bridge queueing, blocking-after-service, and release on
+// top of the flat machinery.
+func loadedTandem() Config {
+	return Config{
+		Segments: []SegmentConfig{
+			{Name: "cpu", ServiceRate: 1, Stations: 16, ThinkRate: 0.06,
+				Mode: bus.Buffered, BufferCap: 8, Route: []int{1}},
+			{Name: "mem", ServiceRate: 1},
+		},
+		Links: []LinkConfig{{From: 0, To: 1, Depth: 4}},
+	}
+}
+
+// TestFabricSteadyStateAllocFree locks the zero-allocation contract for
+// the topology engine with probes disabled, mirroring
+// TestNetworkSteadyStateAllocFree: once the event pool and every queue
+// have reached their high-water marks, a steady-state window — draws,
+// arbitration, bridge transit, blocking, statistics, and the always-on
+// diagnostics counters — runs without touching the heap.
+func TestFabricSteadyStateAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	f, err := New(loadedTandem(), eng, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := eng.RunUntil(1000); err != nil { // reach the high-water marks
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := eng.RunUntil(eng.Now() + 100); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state fabric allocates %v per 100-time-unit window, want 0", avg)
+	}
+	if c := f.Counters(); c.BridgeCrossings == 0 || c.ArbScanSlots == 0 {
+		t.Fatalf("diagnostics counters dead during the alloc-free window: %+v", c)
+	}
+}
+
+// BenchmarkFabricSteadyState measures whole-fabric event throughput
+// with probes disabled — the configuration the benchstat gate watches,
+// so any instrumentation overhead on the hot path shows up here.
+func BenchmarkFabricSteadyState(b *testing.B) {
+	eng := sim.NewEngine()
+	f, err := New(loadedTandem(), eng, sim.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Start()
+	// Warm well past the startup transient — the queues and event pool
+	// grow toward their high-water marks for a long tail under this
+	// near-saturated load, and the 0 B/op baseline must hold even for
+	// CI's tiny -benchtime=5x runs, where a single straggler growth
+	// allocation would not amortize away.
+	if err := eng.RunUntil(5000); err != nil {
+		b.Fatal(err)
+	}
+	start := eng.Processed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for eng.Processed()-start < uint64(b.N) {
+		if err := eng.RunUntil(eng.Now() + 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -296,6 +296,7 @@ type path struct {
 // service, oldest first.
 type link struct {
 	cfg      LinkConfig
+	idx      int // index in Config.Links, identifying it to probes
 	from, to *segment
 	claimant int
 	waiters  []blockedEntry
@@ -304,8 +305,9 @@ type link struct {
 // blockedEntry identifies one blocked upstream bus; the held request is
 // seg.serving[b].
 type blockedEntry struct {
-	seg *segment
-	b   int
+	seg   *segment
+	b     int
+	since float64 // when the bus blocked, for BridgeRelease's blockedFor
 }
 
 // hasSpace reports whether the bridge can accept one more request.
@@ -319,6 +321,11 @@ func (l *link) advance(r *request, now float64) {
 	r.hop++
 	r.enqueuedAt = now
 	l.to.enqueue(l.claimant, r)
+	f := l.to.fab
+	f.crossings++
+	if f.probe != nil {
+		f.probe.BridgeEnqueue(now, l.idx, l.to.claimQ[l.claimant].len())
+	}
 }
 
 // admitBlocked releases the oldest blocked upstream bus into the slot a
@@ -335,6 +342,9 @@ func (l *link) admitBlocked(now float64) {
 	copy(l.waiters, l.waiters[1:])
 	l.waiters = l.waiters[:len(l.waiters)-1]
 	us, b := e.seg, e.b
+	if f := us.fab; f.probe != nil {
+		f.probe.BridgeRelease(now, l.idx, us.idx, b, now-e.since)
+	}
 	r := us.serving[b]
 	us.depart(b, r, now)
 	us.blocked--
@@ -366,6 +376,7 @@ type segment struct {
 	busy       int        // buses occupied: serving or blocked-after-service
 	blocked    int        // buses held by a full downstream bridge
 	serving    []*request // per-bus request occupying it; nil when idle
+	servStart  []float64  // per-bus dispatch time of the occupying request
 	completeFn []func()
 	issueFn    []func()
 
@@ -400,6 +411,11 @@ type Fabric struct {
 	statsStart float64
 	free       []*request // request pool
 	live       int        // requests issued and not yet exited
+
+	probe     Probe  // nil-by-default observability seam
+	stalls    uint64 // requests held at a full buffered-finite interface
+	crossings uint64 // requests handed through any bridge
+	blocks    uint64 // blocking-after-service events
 }
 
 // New builds a fabric on the given engine and RNG. Start must be called
@@ -413,14 +429,15 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Fabric, error) {
 	f.segs = make([]*segment, len(cfg.Segments))
 	for k, sc := range cfg.Segments {
 		s := &segment{
-			idx:     k,
-			cfg:     sc,
-			fab:     f,
-			eng:     eng,
-			rng:     rng,
-			nBuses:  sc.buses(),
-			serving: make([]*request, sc.buses()),
-			busUtil: make([]sim.TimeWeighted, sc.buses()),
+			idx:       k,
+			cfg:       sc,
+			fab:       f,
+			eng:       eng,
+			rng:       rng,
+			nBuses:    sc.buses(),
+			serving:   make([]*request, sc.buses()),
+			servStart: make([]float64, sc.buses()),
+			busUtil:   make([]sim.TimeWeighted, sc.buses()),
 		}
 		s.sources = sc.Sources
 		if s.sources == nil && sc.Stations > 0 {
@@ -471,7 +488,7 @@ func New(cfg Config, eng *sim.Engine, rng *sim.RNG) (*Fabric, error) {
 	// in link order — the indexing sized arbiters are validated against.
 	f.links = make([]*link, len(cfg.Links))
 	for i, lc := range cfg.Links {
-		f.links[i] = &link{cfg: lc, from: f.segs[lc.From], to: f.segs[lc.To]}
+		f.links[i] = &link{cfg: lc, idx: i, from: f.segs[lc.From], to: f.segs[lc.To]}
 	}
 	for k, s := range f.segs {
 		n := s.cfg.Stations
@@ -589,6 +606,10 @@ func (s *segment) issue(i int) {
 			// stalls until the segment drains a slot. issuedAt/enqueuedAt
 			// keep the stall time in its waiting time.
 			s.stalled[i] = s.fab.newRequest(s, i, now)
+			s.fab.stalls++
+			if p := s.fab.probe; p != nil {
+				p.HopStall(now, s.idx, i)
+			}
 		}
 	}
 }
@@ -642,9 +663,13 @@ func (s *segment) tryDispatch() {
 
 		b := s.freeBus()
 		s.serving[b] = r
+		s.servStart[b] = now
 		s.busy++
 		s.util.Set(float64(s.busy)/float64(s.nBuses), now)
 		s.busUtil[b].Set(1, now)
+		if p := s.fab.probe; p != nil {
+			p.HopGrant(now, s.idx, j, b, now-r.enqueuedAt)
+		}
 		s.eng.Schedule(s.service.Sample(s.rng), s.completeFn[b])
 	}
 }
@@ -661,6 +686,9 @@ func (s *segment) depart(b int, r *request, now float64) {
 	s.busy--
 	s.util.Set(float64(s.busy)/float64(s.nBuses), now)
 	s.busUtil[b].Set(0, now)
+	if p := s.fab.probe; p != nil {
+		p.HopComplete(now, s.idx, b, now-s.servStart[b])
+	}
 }
 
 // complete fires when bus b of this segment finishes its transaction.
@@ -699,7 +727,11 @@ func (s *segment) complete(b int) {
 	// response tally) ends only when admitBlocked pulls it through.
 	s.blocked++
 	s.blockedTW.Set(float64(s.blocked)/float64(s.nBuses), now)
-	l.waiters = append(l.waiters, blockedEntry{seg: s, b: b})
+	s.fab.blocks++
+	if p := s.fab.probe; p != nil {
+		p.BridgeBlock(now, l.idx, s.idx, b)
+	}
+	l.waiters = append(l.waiters, blockedEntry{seg: s, b: b, since: now})
 }
 
 // ResetStats discards accumulated statistics on every segment and flow

@@ -103,6 +103,10 @@ type Results struct {
 	WaitHistogram     *Histogram `json:"-"`
 	ResponseHistogram *Histogram `json:"-"`
 	Grants            []uint64   `json:"grants"`
+	// Diagnostics carries the run's deterministic engine and model
+	// counters; unlike every field above it covers the whole run from
+	// time zero, not the warmup-truncated measured interval.
+	Diagnostics *Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // Prediction re-exports the analytic package's closed-form quantities so

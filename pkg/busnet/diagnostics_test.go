@@ -1,0 +1,161 @@
+package busnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// diagConfig is a small buffered-finite config that exercises stalls
+// and arbitration without a long run.
+func diagConfig() Config {
+	return Config{
+		Processors:  12,
+		Buses:       2,
+		ThinkRate:   0.4,
+		ServiceRate: 1,
+		Mode:        ModeBuffered,
+		BufferCap:   2,
+		Seed:        42,
+		Horizon:     2000,
+		Warmup:      200,
+	}
+}
+
+func TestDiagnosticsDeterministicAndProbeInvariant(t *testing.T) {
+	plain, err := Evaluate(diagConfig(), BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Evaluate(diagConfig(), BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewFlightRecorder(256)
+	traced, err := EvaluateTraced(diagConfig(), BackendSim, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Diagnostics == nil || traced.Diagnostics == nil {
+		t.Fatal("sim backend left Diagnostics nil")
+	}
+	if *plain.Diagnostics != *again.Diagnostics {
+		t.Errorf("counters differ across identical runs:\n%+v\n%+v", *plain.Diagnostics, *again.Diagnostics)
+	}
+	// Attaching the recorder must not perturb the trajectory or the
+	// counters — the whole point of the probe-seam design.
+	if *plain.Diagnostics != *traced.Diagnostics {
+		t.Errorf("recorder attachment changed counters:\n%+v\n%+v", *plain.Diagnostics, *traced.Diagnostics)
+	}
+	if plain.Throughput != traced.Throughput || plain.MeanResponse != traced.MeanResponse {
+		t.Errorf("recorder attachment changed results: %v vs %v", plain, traced)
+	}
+	if rec.Len() == 0 {
+		t.Error("recorder captured nothing from a traced run")
+	}
+
+	d := plain.Diagnostics
+	if d.Engine.Scheduled != d.Engine.PoolHits+d.Engine.PoolMisses {
+		t.Errorf("Scheduled %d != PoolHits %d + PoolMisses %d", d.Engine.Scheduled, d.Engine.PoolHits, d.Engine.PoolMisses)
+	}
+	if d.Engine.Scheduled < d.Engine.Fired+d.Engine.Cancelled {
+		t.Errorf("lifecycle imbalance: scheduled %d < fired %d + cancelled %d",
+			d.Engine.Scheduled, d.Engine.Fired, d.Engine.Cancelled)
+	}
+	if d.Engine.Fired == 0 || d.ArbScanSlots == 0 {
+		t.Errorf("dead counters: %+v", *d)
+	}
+	if d.Stalls == 0 {
+		t.Error("buffered-finite config at this load should stall at least once")
+	}
+	if d.BridgeCrossings != 0 || d.BridgeBlocks != 0 {
+		t.Errorf("flat run reported bridge traffic: %+v", *d)
+	}
+}
+
+// A one-node topology replays the flat trajectory bit for bit, so its
+// whole-run counter block must match the flat run's exactly.
+func TestDiagnosticsFlatMatchesSingleNodeTopology(t *testing.T) {
+	cfg := diagConfig()
+	flat, err := Evaluate(cfg, BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := EvaluateTopology(cfg.Topology(), BackendSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Diagnostics == nil {
+		t.Fatal("topology sim left Diagnostics nil")
+	}
+	if *flat.Diagnostics != *top.Diagnostics {
+		t.Errorf("flat and one-node-topology counters diverge:\n%+v\n%+v", *flat.Diagnostics, *top.Diagnostics)
+	}
+}
+
+func TestEvaluateTracedRefusesClosedFormBackends(t *testing.T) {
+	rec := NewFlightRecorder(16)
+	if _, err := EvaluateTraced(diagConfig(), BackendAnalytic, rec); err == nil {
+		t.Error("EvaluateTraced accepted the analytic backend with a recorder")
+	}
+	if _, err := EvaluateTopologyTraced(chainTopology(4, 0.05, 1, 1, 2), BackendAnalytic, rec); err == nil {
+		t.Error("EvaluateTopologyTraced accepted the analytic backend with a recorder")
+	}
+	// nil recorder degrades to the plain entry points, any backend.
+	if _, err := EvaluateTraced(diagConfig(), BackendAnalytic, nil); err != nil {
+		t.Errorf("nil-recorder EvaluateTraced(analytic): %v", err)
+	}
+}
+
+// The fixed-seed 2-hop tandem with a tight bridge exercises every probe
+// kind the fabric can emit, and the exported trace must be valid Chrome
+// trace JSON.
+func TestTopologyTraceExport(t *testing.T) {
+	top := chainTopology(8, 0.2, 1, 0.5, 1)
+	rec := NewFlightRecorder(4096)
+	ev, err := EvaluateTopologyTraced(top, BackendSim, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Diagnostics.BridgeCrossings == 0 {
+		t.Error("tandem run crossed no bridges")
+	}
+	if ev.Diagnostics.BridgeBlocks == 0 {
+		t.Error("depth-1 bridge at this load should block at least once")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+	cats := map[string]int{}
+	for _, ev := range file.TraceEvents {
+		if c, ok := ev["cat"].(string); ok {
+			cats[c]++
+		}
+	}
+	for _, want := range []string{"event-fired", "hop-grant", "hop-complete", "bridge-enqueue", "bridge-block", "bridge-release"} {
+		if cats[want] == 0 {
+			t.Errorf("trace has no %q events (got %v)", want, cats)
+		}
+	}
+}
+
+func TestDiagnosticsAccumulate(t *testing.T) {
+	a := Diagnostics{Stalls: 1, ArbScanSlots: 2, BridgeCrossings: 3, BridgeBlocks: 4}
+	a.Engine.Scheduled, a.Engine.Fired = 10, 9
+	b := a
+	a.Accumulate(b)
+	if a.Stalls != 2 || a.ArbScanSlots != 4 || a.BridgeCrossings != 6 || a.BridgeBlocks != 8 ||
+		a.Engine.Scheduled != 20 || a.Engine.Fired != 18 {
+		t.Errorf("Accumulate = %+v", a)
+	}
+}

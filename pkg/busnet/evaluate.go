@@ -2,6 +2,7 @@ package busnet
 
 import (
 	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/obs"
 	"github.com/busnet/busnet/internal/sim"
 )
 
@@ -32,6 +33,10 @@ type Evaluation struct {
 	Analytic *Prediction `json:"analytic,omitempty"`
 	// Fluid is the mean-field payload (BackendFluid only).
 	Fluid *FluidPrediction `json:"fluid,omitempty"`
+	// Diagnostics is the run's deterministic engine/model counter block
+	// (BackendSim only — closed-form backends fire no events). It covers
+	// the whole run from time zero, not the warmup-truncated interval.
+	Diagnostics *Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // Evaluate is the single entry point for evaluating a flat (one-bus-
@@ -84,7 +89,7 @@ func Evaluate(cfg Config, backend Backend) (Evaluation, error) {
 			Fluid:        &p,
 		}, nil
 	default:
-		res, err := runSim(cfg)
+		res, err := runSim(cfg, nil)
 		if err != nil {
 			return Evaluation{}, err
 		}
@@ -96,6 +101,7 @@ func Evaluate(cfg Config, backend Backend) (Evaluation, error) {
 			MeanResponse: res.MeanResponse,
 			MeanQueueLen: res.MeanQueueLen,
 			Results:      &res,
+			Diagnostics:  res.Diagnostics,
 		}, nil
 	}
 }
@@ -103,8 +109,10 @@ func Evaluate(cfg Config, backend Backend) (Evaluation, error) {
 // runSim is the discrete-event backend: build fresh engine + model,
 // warm up, measure over [warmup, horizon]. Deterministic in
 // (Config, Seed, Stream); every field of Results covers the measured
-// interval only.
-func runSim(cfg Config) (Results, error) {
+// interval only, except Diagnostics, which covers the whole run. A
+// non-nil rec is attached to the engine's and model's probe seams;
+// attachment never changes the trajectory or the counters.
+func runSim(cfg Config, rec *obs.Recorder) (Results, error) {
 	n, err := FromConfig(cfg)
 	if err != nil {
 		return Results{}, err
@@ -115,6 +123,10 @@ func runSim(cfg Config) (Results, error) {
 	model, err := bus.New(cfg.busConfig(), eng, rng)
 	if err != nil {
 		return Results{}, err
+	}
+	if rec != nil {
+		eng.SetProbe(rec)
+		model.SetProbe(rec)
 	}
 	model.Start()
 	var warmupEvents uint64
@@ -131,6 +143,12 @@ func runSim(cfg Config) (Results, error) {
 		return Results{}, err
 	}
 	m := model.Snapshot()
+	mc := model.Counters()
+	diag := &Diagnostics{
+		Engine:       eng.Counters(),
+		Stalls:       mc.Stalls,
+		ArbScanSlots: mc.ArbScanSlots,
+	}
 	return Results{
 		Config:            cfg,
 		MeasuredTime:      m.Elapsed,
@@ -151,5 +169,6 @@ func runSim(cfg Config) (Results, error) {
 		WaitHistogram:     m.WaitHist,
 		ResponseHistogram: m.RespHist,
 		Grants:            m.Grants,
+		Diagnostics:       diag,
 	}, nil
 }

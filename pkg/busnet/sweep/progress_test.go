@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/busnet/busnet/pkg/busnet"
+)
+
+func progressSpec(workers int, p *Progress) Spec {
+	return Spec{
+		Grid: Grid{
+			Base:       testBase(),
+			Processors: []int{4, 8, 12},
+		},
+		Replications: 3,
+		Workers:      workers,
+		Progress:     p,
+	}
+}
+
+func TestProgressCountsAndInertness(t *testing.T) {
+	plain, err := Run(progressSpec(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Progress
+	if p.Done() {
+		t.Error("zero Progress reports Done")
+	}
+	tracked, err := Run(progressSpec(2, &p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.TotalJobs != 9 || s.DoneJobs != 9 || s.TotalPoints != 3 || s.DonePoints != 3 {
+		t.Errorf("final snapshot = %+v, want 9/9 jobs, 3/3 points", s)
+	}
+	if s.Active != 0 || s.Workers != 2 {
+		t.Errorf("final snapshot = %+v, want 0 active of 2 workers", s)
+	}
+	if !p.Done() {
+		t.Error("Done() false after the sweep returned")
+	}
+	// Attaching a tracker must not change a single output bit.
+	if !reflect.DeepEqual(plain, tracked) {
+		t.Error("Progress attachment changed the sweep output")
+	}
+}
+
+// The acceptance invariant for diagnostics: counters summed per point
+// are a function of the spec alone, so any worker count produces the
+// identical block.
+func TestDiagnosticsIdenticalAcrossWorkerCounts(t *testing.T) {
+	var ref *Result
+	for _, workers := range []int{1, 3, 7} {
+		res, err := Run(progressSpec(workers, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pt := range res.Points {
+			if pt.Diagnostics == nil || pt.Diagnostics.Engine.Fired == 0 {
+				t.Fatalf("point %d has dead diagnostics: %+v", i, pt.Diagnostics)
+			}
+		}
+		if ref == nil {
+			ref = &res
+			continue
+		}
+		for i := range res.Points {
+			if *res.Points[i].Diagnostics != *ref.Points[i].Diagnostics {
+				t.Errorf("workers=%d point %d diagnostics diverge:\n%+v\n%+v",
+					workers, i, *res.Points[i].Diagnostics, *ref.Points[i].Diagnostics)
+			}
+		}
+	}
+}
+
+func TestTopologySweepProgressAndDiagnostics(t *testing.T) {
+	points := []busnet.Topology{
+		tandem(t, 6, 0.08, 1, 1, 2, 11),
+		tandem(t, 6, 0.08, 1, 1, 4, 11),
+	}
+	var p Progress
+	res, err := RunTopology(TopologySpec{
+		Points:       points,
+		Replications: 2,
+		Workers:      2,
+		Progress:     &p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.DoneJobs != 4 || s.DonePoints != 2 || !p.Done() {
+		t.Errorf("final snapshot = %+v, want 4 jobs, 2 points done", s)
+	}
+	for i, pt := range res.Points {
+		d := pt.Diagnostics
+		if d == nil || d.Engine.Fired == 0 || d.BridgeCrossings == 0 {
+			t.Fatalf("point %d diagnostics = %+v, want live engine and bridge counters", i, d)
+		}
+	}
+	// Same points, serial workers: identical summed counters.
+	again, err := RunTopology(TopologySpec{Points: points, Replications: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		if *res.Points[i].Diagnostics != *again.Points[i].Diagnostics {
+			t.Errorf("point %d topology diagnostics diverge across worker counts", i)
+		}
+	}
+}

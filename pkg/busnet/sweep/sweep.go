@@ -48,6 +48,10 @@ type Spec struct {
 	// point (outside its domain, or no steady state) fails the sweep —
 	// prefer an explicit error over a silently missing curve segment.
 	Backend busnet.Backend `json:"backend,omitempty"`
+	// Progress, when non-nil, receives live job/point completion counts
+	// during Run — poll it from another goroutine for a reporter.
+	// Attaching it never changes the sweep's output.
+	Progress *Progress `json:"-"`
 }
 
 // PointResult is one grid point reduced across its replications.
@@ -85,6 +89,10 @@ type PointResult struct {
 	// the lowest-free-bus dispatch); its mean is Utilization's.
 	BusUtilization []float64        `json:"bus_utilization"`
 	Runs           []busnet.Results `json:"runs,omitempty"`
+	// Diagnostics is the engine/model counter block summed across the
+	// point's replications; deterministic for a fixed spec regardless of
+	// worker count. Nil when no simulation ran (predict-only backends).
+	Diagnostics *busnet.Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // Result is a completed sweep. Points appear in Grid.Points order.
@@ -127,6 +135,9 @@ func Run(spec Spec) (Result, error) {
 	if workers > nJobs {
 		workers = nJobs
 	}
+	if spec.Progress != nil {
+		spec.Progress.begin(len(points), reps, workers)
+	}
 	runs := make([]busnet.Results, nJobs)
 	errs := make([]error, nJobs)
 	jobs := make(chan int)
@@ -136,7 +147,9 @@ func Run(spec Spec) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				spec.Progress.jobStart()
 				runs[j], errs[j] = runJob(points[j/reps], j%reps)
+				spec.Progress.jobDone(j / reps)
 			}
 		}()
 	}
@@ -253,6 +266,13 @@ func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
 			pr.Grants[i] += g
 		}
 	}
+	diag := &busnet.Diagnostics{}
+	for _, r := range runs {
+		if r.Diagnostics != nil {
+			diag.Accumulate(*r.Diagnostics)
+		}
+	}
+	pr.Diagnostics = diag
 	// Pool latency histograms only when the runs collected them
 	// (Config.Quantiles): the quantile fields stay nil otherwise, so the
 	// output says "not measured", not "all-zero latencies".

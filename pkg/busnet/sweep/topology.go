@@ -25,6 +25,9 @@ type TopologySpec struct {
 	// replications, CIUndefined stats). BackendFluid has no topology
 	// model and fails the sweep.
 	Backend busnet.Backend `json:"backend,omitempty"`
+	// Progress, when non-nil, receives live job/point completion counts
+	// during RunTopology; same contract as Spec.Progress.
+	Progress *Progress `json:"-"`
 }
 
 // HopStat is one node of a topology point reduced across replications.
@@ -51,6 +54,9 @@ type TopologyPointResult struct {
 	Throughput Stat                       `json:"throughput"`
 	EndToEnd   Stat                       `json:"end_to_end_response"`
 	Analytic   *busnet.TopologyPrediction `json:"analytic,omitempty"`
+	// Diagnostics is the engine/fabric counter block summed across the
+	// point's replications; nil for predict-only backends.
+	Diagnostics *busnet.Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // TopologyResult is a completed topology sweep, points in spec order.
@@ -86,6 +92,9 @@ func RunTopology(spec TopologySpec) (TopologyResult, error) {
 	if workers > nJobs {
 		workers = nJobs
 	}
+	if spec.Progress != nil {
+		spec.Progress.begin(len(spec.Points), reps, workers)
+	}
 	runs := make([]busnet.TopologyEvaluation, nJobs)
 	errs := make([]error, nJobs)
 	jobs := make(chan int)
@@ -95,9 +104,11 @@ func RunTopology(spec TopologySpec) (TopologyResult, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				spec.Progress.jobStart()
 				t := spec.Points[j/reps]
 				t.Stream += uint64(j % reps)
 				runs[j], errs[j] = busnet.EvaluateTopology(t, busnet.BackendSim)
+				spec.Progress.jobDone(j / reps)
 			}
 		}()
 	}
@@ -189,6 +200,13 @@ func reduceTopology(t busnet.Topology, runs []busnet.TopologyEvaluation) Topolog
 			MeanResponse: hop(k, func(h busnet.HopResult) float64 { return h.MeanResponse }),
 		}
 	}
+	diag := &busnet.Diagnostics{}
+	for _, r := range runs {
+		if r.Diagnostics != nil {
+			diag.Accumulate(*r.Diagnostics)
+		}
+	}
+	pr.Diagnostics = diag
 	if p, err := busnet.PredictTopology(t); err == nil {
 		pr.Analytic = &p
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/busnet/busnet/internal/analytic"
 	"github.com/busnet/busnet/internal/bus"
+	"github.com/busnet/busnet/internal/obs"
 	"github.com/busnet/busnet/internal/sim"
 	"github.com/busnet/busnet/internal/topo"
 	"github.com/busnet/busnet/internal/workload"
@@ -342,6 +343,10 @@ type TopologyResults struct {
 	Events       uint64       `json:"events"`
 	Hops         []HopResult  `json:"hops"`
 	Flows        []FlowResult `json:"flows"`
+	// Diagnostics carries the run's deterministic engine and fabric
+	// counters; it covers the whole run from time zero, not the
+	// warmup-truncated measured interval.
+	Diagnostics *Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // NodePrediction is the closed-form steady state of one node of a
@@ -393,6 +398,9 @@ type TopologyEvaluation struct {
 	Results *TopologyResults `json:"results,omitempty"`
 	// Analytic is the product-form payload (BackendAnalytic only).
 	Analytic *TopologyPrediction `json:"analytic,omitempty"`
+	// Diagnostics is the run's deterministic engine/fabric counter block
+	// (BackendSim only); it covers the whole run from time zero.
+	Diagnostics *Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // EvaluateTopology is Evaluate for multi-hop fabrics: one entry point,
@@ -423,31 +431,39 @@ func EvaluateTopology(t Topology, backend Backend) (TopologyEvaluation, error) {
 			"busnet: no fluid model for topologies — the mean-field balance covers the flat single-segment config only (use %q or %q)",
 			BackendSim, BackendAnalytic)
 	default:
-		res, err := runTopologySim(t)
+		res, err := runTopologySim(t, nil)
 		if err != nil {
 			return TopologyEvaluation{}, err
 		}
-		ev := TopologyEvaluation{Backend: b, Results: &res}
-		var rate, weighted float64
-		for _, f := range res.Flows {
-			if res.MeasuredTime > 0 {
-				r := float64(f.Completed) / res.MeasuredTime
-				rate += r
-				weighted += r * f.MeanResponse
-			}
-		}
-		ev.Throughput = rate
-		if rate > 0 {
-			ev.MeanResponse = weighted / rate
-		}
-		return ev, nil
+		return topologyEvaluationFrom(b, res), nil
 	}
+}
+
+// topologyEvaluationFrom lifts a simulation payload into the shared
+// summary: total exit rate and the rate-weighted mean end-to-end
+// response across flows.
+func topologyEvaluationFrom(b Backend, res TopologyResults) TopologyEvaluation {
+	ev := TopologyEvaluation{Backend: b, Results: &res, Diagnostics: res.Diagnostics}
+	var rate, weighted float64
+	for _, f := range res.Flows {
+		if res.MeasuredTime > 0 {
+			r := float64(f.Completed) / res.MeasuredTime
+			rate += r
+			weighted += r * f.MeanResponse
+		}
+	}
+	ev.Throughput = rate
+	if rate > 0 {
+		ev.MeanResponse = weighted / rate
+	}
+	return ev
 }
 
 // runTopologySim is the discrete-event backend for topologies,
 // mirroring runSim: fresh engine + fabric, warmup, measure over
-// [warmup, horizon].
-func runTopologySim(t Topology) (TopologyResults, error) {
+// [warmup, horizon]. A non-nil rec is attached to the engine's and
+// fabric's probe seams; attachment never changes the trajectory.
+func runTopologySim(t Topology, rec *obs.Recorder) (TopologyResults, error) {
 	t = t.normalized()
 	if err := t.Validate(); err != nil {
 		return TopologyResults{}, err
@@ -462,6 +478,10 @@ func runTopologySim(t Topology) (TopologyResults, error) {
 	if err != nil {
 		return TopologyResults{}, err
 	}
+	if rec != nil {
+		eng.SetProbe(rec)
+		fab.SetProbe(rec)
+	}
 	fab.Start()
 	var warmupEvents uint64
 	if t.Warmup > 0 {
@@ -475,12 +495,20 @@ func runTopologySim(t Topology) (TopologyResults, error) {
 		return TopologyResults{}, err
 	}
 	m := fab.Snapshot()
+	fc := fab.Counters()
 	return TopologyResults{
 		Topology:     t,
 		MeasuredTime: m.Elapsed,
 		Events:       eng.Processed() - warmupEvents,
 		Hops:         m.Segments,
 		Flows:        m.Flows,
+		Diagnostics: &Diagnostics{
+			Engine:          eng.Counters(),
+			Stalls:          fc.Stalls,
+			ArbScanSlots:    fc.ArbScanSlots,
+			BridgeCrossings: fc.BridgeCrossings,
+			BridgeBlocks:    fc.BridgeBlocks,
+		},
 	}, nil
 }
 
