@@ -50,6 +50,11 @@ var csvHeader = []string{
 // and a point outside the analytic/fluid model's domain blanks that
 // overlay's cells.
 func writeCSV(w io.Writer, report Report) error {
+	if report.Optimize != nil {
+		// Optimizer scenarios have a ranked-candidate shape, not a
+		// per-point one; they get their own header and row schema.
+		return writeOptimizeCSV(w, report)
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err

@@ -33,15 +33,20 @@ import (
 	"time"
 
 	"github.com/busnet/busnet/internal/prof"
+	"github.com/busnet/busnet/pkg/busnet/opt"
 	"github.com/busnet/busnet/pkg/busnet/sweep"
 )
 
 // Report is the top-level JSON document emitted for a scenario run.
+// Curve scenarios populate Curves; optimizer scenarios populate
+// Optimize (the ranked candidate table plus the race's job ledger) and
+// leave Curves empty.
 type Report struct {
 	Scenario    string        `json:"scenario"`
 	Description string        `json:"description"`
 	Params      Params        `json:"params"`
-	Curves      []CurveResult `json:"curves"`
+	Curves      []CurveResult `json:"curves,omitempty"`
+	Optimize    *opt.Outcome  `json:"optimize,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -138,7 +143,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	curves, runErr := sc.Run(params)
+	var curves []CurveResult
+	var outcome *opt.Outcome
+	var runErr error
+	if sc.Opt != nil {
+		var out opt.Outcome
+		out, runErr = opt.Solve(sc.Opt(params))
+		if runErr == nil {
+			outcome = &out
+		}
+	} else {
+		curves, runErr = sc.Run(params)
+	}
 	stopReporter()
 	if err := psess.Stop(); err != nil {
 		if runErr == nil {
@@ -168,6 +184,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Description: sc.Description,
 		Params:      params,
 		Curves:      curves,
+		Optimize:    outcome,
 	}
 	// The report streams through a hasher on its way to stdout so the
 	// manifest can fingerprint exactly the bytes the consumer saw.

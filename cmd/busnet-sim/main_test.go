@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"math"
+	"os"
 	"reflect"
 	"strconv"
 	"strings"
@@ -60,6 +61,25 @@ func TestScenariosEmitValidJSON(t *testing.T) {
 			}
 			if report.Params.Seed != 42 || report.Params.Horizon != 2000 || report.Params.Replications != 3 {
 				t.Fatalf("params not echoed: %+v", report.Params)
+			}
+			if report.Optimize != nil {
+				// Optimizer scenarios report a ranked candidate table
+				// instead of curves; the winner leads it.
+				if len(report.Curves) != 0 {
+					t.Fatal("optimizer report carries curves alongside its ranked table")
+				}
+				out := report.Optimize
+				if len(out.Ranked) == 0 {
+					t.Fatal("optimizer report has no ranked candidates")
+				}
+				if out.Winner().Status != "winner" {
+					t.Fatalf("ranked table leads with status %q, want winner", out.Winner().Status)
+				}
+				if out.DESJobs == 0 || out.DESJobs >= out.ExhaustiveJobs {
+					t.Fatalf("race spent %d DES jobs against an exhaustive %d; want 0 < spent < exhaustive",
+						out.DESJobs, out.ExhaustiveJobs)
+				}
+				return
 			}
 			if len(report.Curves) == 0 {
 				t.Fatal("report has no curves")
@@ -385,7 +405,7 @@ func TestArbiterFairnessExposesGrants(t *testing.T) {
 // CSV report must carry exactly that many data rows — the contract the
 // CI smoke test is built on.
 func TestPointsFlagMatchesCSVRows(t *testing.T) {
-	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter", "multibus-curves", "topology-curves"} {
+	for _, name := range []string{"paper-curves", "bursty-curves", "weighted-arbiter", "multibus-curves", "topology-curves", "optimize"} {
 		t.Run(name, func(t *testing.T) {
 			var pointsOut, errOut bytes.Buffer
 			if err := run([]string{"-scenario", name, "-points"}, &pointsOut, &errOut); err != nil {
@@ -861,5 +881,133 @@ func TestFluidCurvesCSV(t *testing.T) {
 	}
 	if millionRows == 0 {
 		t.Error("fluid-large-n never reached N = 1,000,000")
+	}
+}
+
+// The optimize scenario end to end through the CLI: the CSV ranked
+// table carries one row per enumerated candidate with rank 1 = winner
+// on its first row, the race's job ledger rides along as provenance,
+// the over-budget candidate is flagged and unscored, and — like every
+// scenario — the output is deterministic and worker-count invisible.
+func TestOptimizeScenarioCSVAndDeterminism(t *testing.T) {
+	render := func(workers string) string {
+		var out, errOut bytes.Buffer
+		args := []string{"-scenario", "optimize", "-seed", "42", "-horizon", "2000",
+			"-replications", "3", "-workers", workers, "-format", "csv"}
+		if err := run(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := render("1")
+	if first != render("6") {
+		t.Fatal("optimize CSV differs between -workers=1 and -workers=6")
+	}
+	if first != render("1") {
+		t.Fatal("optimize CSV not deterministic under equal seeds")
+	}
+	rows, err := csv.NewReader(strings.NewReader(first)).ReadAll()
+	if err != nil {
+		t.Fatalf("optimize output is not valid CSV: %v", err)
+	}
+	declared := declaredPoints(t, "optimize", Params{Seed: 42, Horizon: 2000, Replications: 3})
+	if got := len(rows) - 1; got != declared {
+		t.Fatalf("CSV carries %d candidate rows, registry declares %d", got, declared)
+	}
+	header := rows[0]
+	if !reflect.DeepEqual(header, optimizeCSVHeader) {
+		t.Fatalf("optimize CSV header = %v, want %v", header, optimizeCSVHeader)
+	}
+	rank := col(t, header, "rank")
+	status := col(t, header, "status")
+	cost := col(t, header, "cost")
+	overBudget := col(t, header, "over_budget")
+	scoreMean := col(t, header, "score_mean")
+	reps := col(t, header, "replications")
+	desJobs := col(t, header, "des_jobs")
+	exhaustive := col(t, header, "exhaustive_jobs")
+	if rank(rows[1]) != "1" || status(rows[1]) != "winner" {
+		t.Fatalf("first row rank/status = %s/%s, want 1/winner", rank(rows[1]), status(rows[1]))
+	}
+	if scoreMean(rows[1]) == "" || reps(rows[1]) == "" {
+		t.Fatal("winner row missing its measured score or replication count")
+	}
+	var overBudgetRows int
+	for i, row := range rows[1:] {
+		if rank(row) != strconv.Itoa(i+1) {
+			t.Fatalf("row %d carries rank %s", i+1, rank(row))
+		}
+		if _, err := strconv.ParseFloat(cost(row), 64); err != nil {
+			t.Fatalf("cost cell %q not numeric", cost(row))
+		}
+		if overBudget(row) == "true" {
+			overBudgetRows++
+			if status(row) != "over-budget" || scoreMean(row) != "" {
+				t.Fatalf("over-budget candidate has status %q score %q; want over-budget and unscored",
+					status(row), scoreMean(row))
+			}
+		}
+		if desJobs(row) != desJobs(rows[1]) || exhaustive(row) != exhaustive(rows[1]) {
+			t.Fatal("job-ledger provenance differs across rows of one run")
+		}
+	}
+	// The scenario's space prices buffered d=4 m=2 at 128 against the 96
+	// budget: exactly one candidate sits out the race.
+	if overBudgetRows != 1 {
+		t.Fatalf("flagged %d over-budget candidates, want 1", overBudgetRows)
+	}
+	spent, err := strconv.Atoi(desJobs(rows[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := strconv.Atoi(exhaustive(rows[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spent <= 0 || spent >= full {
+		t.Fatalf("race spent %d DES jobs against an exhaustive %d; want 0 < spent < exhaustive", spent, full)
+	}
+}
+
+// -trace and -manifest work for optimizer scenarios too: the trace
+// follows the first enumerated candidate, and the manifest lists all
+// three backends (prune models + simulator race).
+func TestOptimizeScenarioTraceAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/trace.json"
+	manifestPath := dir + "/manifest.json"
+	var out, errOut bytes.Buffer
+	args := []string{"-scenario", "optimize", "-horizon", "1500", "-replications", "2",
+		"-trace", tracePath, "-manifest", manifestPath}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	traceBlob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBlob, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("optimize trace carries no events")
+	}
+	manifestBlob, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(manifestBlob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ConfigHash) != 64 {
+		t.Fatalf("manifest config hash %q not a sha256 hex digest", m.ConfigHash)
+	}
+	want := []string{"sim", "analytic", "fluid"}
+	if !reflect.DeepEqual(m.Backends, want) {
+		t.Fatalf("optimize manifest backends = %v, want %v", m.Backends, want)
 	}
 }

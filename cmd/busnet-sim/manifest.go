@@ -1,7 +1,6 @@
 package main
 
 import (
-	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -34,17 +33,14 @@ type Manifest struct {
 	OutputSHA256    string   `json:"output_sha256"`
 }
 
-// configHash derives the manifest's invocation fingerprint.
+// configHash derives the manifest's invocation fingerprint via the
+// canonical hash the sweep result cache also keys on, so the two
+// subsystems can never disagree about what "same configuration" means.
 func configHash(scenario string, p Params) (string, error) {
-	blob, err := json.Marshal(struct {
+	return busnet.CanonicalHash(struct {
 		Scenario string `json:"scenario"`
 		Params   Params `json:"params"`
 	}{scenario, p})
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(blob)
-	return hex.EncodeToString(sum[:]), nil
 }
 
 // buildManifest assembles the provenance record for a finished run.
@@ -54,6 +50,13 @@ func buildManifest(sc Scenario, p Params, format string, wall float64, outputSum
 		return Manifest{}, err
 	}
 	backends := make([]string, 0, len(sc.Curves))
+	if sc.Opt != nil {
+		// The optimizer races candidates under the simulator after a
+		// closed-form prune, so an optimize run exercises all three
+		// backends regardless of which curves the scenario declares.
+		backends = append(backends,
+			string(busnet.BackendSim), string(busnet.BackendAnalytic), string(busnet.BackendFluid))
+	}
 	seen := map[busnet.Backend]bool{}
 	for _, c := range sc.Curves {
 		b, err := busnet.ParseBackend(string(c.backend))
@@ -101,6 +104,19 @@ func writeManifestFile(path string, m Manifest) error {
 // JSON to w. Open the file at ui.perfetto.dev or chrome://tracing.
 func writeScenarioTrace(sc Scenario, p Params, w io.Writer) error {
 	rec := busnet.NewFlightRecorder(1 << 15)
+	if sc.Opt != nil {
+		// Optimizer scenarios declare no curves; trace the first
+		// enumerated candidate, which is as deterministic as a curve's
+		// first point — enumeration order is fixed by the space.
+		cands, err := sc.Opt(p).Enumerate()
+		if err != nil {
+			return err
+		}
+		if _, err := busnet.EvaluateTraced(cands[0].Config, busnet.BackendSim, rec); err != nil {
+			return err
+		}
+		return rec.WriteTrace(w)
+	}
 	for _, c := range sc.Curves {
 		backend, err := busnet.ParseBackend(string(c.backend))
 		if err != nil {

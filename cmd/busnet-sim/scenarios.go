@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/busnet/busnet/pkg/busnet"
+	"github.com/busnet/busnet/pkg/busnet/opt"
 	"github.com/busnet/busnet/pkg/busnet/sweep"
 )
 
@@ -62,11 +63,15 @@ type CurveResult struct {
 	Topology    *sweep.TopologyResult `json:"topology,omitempty"`
 }
 
-// Scenario is a named bundle of curves runnable from the CLI.
+// Scenario is a named bundle of curves runnable from the CLI — or, when
+// Opt is set instead, one optimization problem answered by the racing
+// optimizer (Curves stays empty; the report carries a ranked candidate
+// table instead of swept curves).
 type Scenario struct {
 	Name        string
 	Description string
 	Curves      []Curve
+	Opt         func(Params) opt.Problem
 }
 
 // Points returns the total number of data rows the scenario declares
@@ -76,6 +81,15 @@ type Scenario struct {
 // instead of a hard-coded count, so grid changes cannot silently
 // desynchronize the check.
 func (s Scenario) Points(p Params) (int, error) {
+	if s.Opt != nil {
+		// Optimizer scenarios: one CSV row per enumerated candidate,
+		// raced or not — the ranked table always covers the whole space.
+		cands, err := s.Opt(p).Enumerate()
+		if err != nil {
+			return 0, err
+		}
+		return len(cands), nil
+	}
 	total := 0
 	for _, c := range s.Curves {
 		if c.topo != nil {
@@ -669,6 +683,35 @@ var registry = map[string]Scenario{
 			}
 		},
 	}),
+	"optimize": {
+		Name: "optimize",
+		Description: "CI-aware buffering-vs-buses optimizer: candidate fabrics at N=16, λ=0.05, " +
+			"μ=1 (demand 0.8) — blocking vs 1/2/4-deep interface buffers crossed with m ∈ {1, 2} " +
+			"buses — priced at 1 per buffer slot and 32 per bus under a total budget of 96, raced " +
+			"for maximum throughput with common random numbers; -replications seeds the race and " +
+			"4× it caps escalation, and the report is a ranked table with 95% CIs, explicit ties, " +
+			"and the DES-job spend vs exhaustive enumeration",
+		Opt: func(p Params) opt.Problem {
+			base := p.base()
+			base.Processors = 16
+			base.ThinkRate = 0.05
+			return opt.Problem{
+				Space: opt.Space{
+					Base:         base,
+					Buses:        []int{1, 2},
+					BufferDepths: []int{1, 2, 4},
+				},
+				Objective: opt.Objective{Goal: opt.MaxThroughput},
+				Budget:    opt.Budget{Total: 96, BufferCost: 1, BusCost: 32},
+				Race: opt.Race{
+					InitialReplications: p.Replications,
+					MaxReplications:     4 * p.Replications,
+					Workers:             p.Workers,
+					Progress:            p.Progress,
+				},
+			}
+		},
+	},
 	"arbiter-fairness": single(Curve{
 		Name:   "arbiter-fairness",
 		Figure: "arbitration policy comparison under saturation",

@@ -1,0 +1,68 @@
+package busnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalHashIsStableAndDiscriminating(t *testing.T) {
+	a, err := CanonicalHash(map[string]int{"x": 1, "y": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalHash(map[string]int{"y": 2, "x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("map key order changed the canonical hash")
+	}
+	if len(a) != 64 || strings.ToLower(a) != a {
+		t.Errorf("hash %q is not lowercase sha256 hex", a)
+	}
+	c, err := CanonicalHash(map[string]int{"x": 1, "y": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct values hashed equal")
+	}
+}
+
+// Config.Hash is spelling-insensitive (it hashes the Normalized form)
+// but realization-sensitive: Seed and Stream are part of the identity.
+func TestConfigHashNormalizesSpellings(t *testing.T) {
+	cfg := DefaultConfig()
+	h1, err := cfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero-value kind spellings normalize to their canonical names,
+	// so both spellings of the same operating point hash identically.
+	spelled := cfg.Normalized()
+	h2, err := spelled.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("normalized spelling changed the hash")
+	}
+	other := cfg
+	other.Stream = cfg.Stream + 1
+	h3, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("different stream hashed equal — realization must be part of identity")
+	}
+	wider := cfg
+	wider.Processors++
+	h4, err := wider.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 == h1 {
+		t.Error("different operating point hashed equal")
+	}
+}

@@ -1,0 +1,52 @@
+package opt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzProblemJSON fuzzes the optimizer's wire format: any JSON that
+// decodes into a Problem must re-encode deterministically (marshal of
+// the decoded value is a fixed point — decode(encode(p)) encodes to the
+// same bytes), and enumeration over the decoded problem must never
+// panic, only return candidates or an error. This is the boundary a
+// config file or HTTP body crosses before Solve trusts the spec.
+func FuzzProblemJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"space":{"base":{"processors":8,"think_rate":0.1,"service_rate":1,"horizon":100,"buses":1}}}`))
+	f.Add([]byte(`{"space":{"buffer_depths":[1,2,-1],"buses":[1,2],"modes":["buffered","unbuffered"],"weights":["4,2,1,1"]}}`))
+	f.Add([]byte(`{"objective":{"goal":"min-cost-at-slo","slo_mean_response":2.5},"budget":{"total":96,"buffer_cost":1,"bus_cost":32}}`))
+	f.Add([]byte(`{"race":{"initial_replications":4,"max_replications":32,"prune_keep":3}}`))
+	f.Add([]byte(`{"space":{"base":{"mode":"buffered","buffer_cap":-1,"arbiter":"weighted-round-robin","weights":"1,1"}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // not a Problem; nothing to round-trip
+		}
+		first, err := json.Marshal(p)
+		if err != nil {
+			// A decoded Problem must re-encode: the only JSON-hostile
+			// values (NaN/Inf) cannot arrive via JSON, and enums reject
+			// unknown names at decode time.
+			t.Fatalf("decoded problem does not re-encode: %v", err)
+		}
+		var p2 Problem
+		if err := json.Unmarshal(first, &p2); err != nil {
+			t.Fatalf("round-tripped encoding does not decode: %v", err)
+		}
+		second, err := json.Marshal(p2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("encoding is not a fixed point:\n first %s\nsecond %s", first, second)
+		}
+		// Enumeration must be panic-free on arbitrary decoded spaces.
+		if cands, err := p.Enumerate(); err == nil {
+			for _, c := range cands {
+				_ = c.Label()
+			}
+		}
+	})
+}

@@ -64,6 +64,42 @@ func BenchmarkMultiBus(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepCached pins the cache-hit fast path: the same sweep as
+// BenchmarkSweepParallel's single-worker case, answered entirely from a
+// pre-warmed Cache. Every job is a key derivation plus a map read — no
+// simulation — so per-op time is the pipeline + reduce overhead the
+// optimizer pays when it re-races survivors it has already measured.
+func BenchmarkSweepCached(b *testing.B) {
+	base := busnet.DefaultConfig().AtHorizon(20_000)
+	base.Seed = 42
+	spec := Spec{
+		Grid: Grid{
+			Base:       base,
+			Processors: []int{2, 4, 8, 12, 16, 24, 32, 64},
+		},
+		Replications: 4,
+		Workers:      1,
+		Cache:        NewCache(),
+	}
+	if _, err := Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	if spec.Cache.Misses() == 0 {
+		b.Fatal("warm-up run recorded no misses")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got, want := spec.Cache.Misses(), uint64(8*4); got != want {
+		b.Fatalf("timed runs missed the cache: misses = %d, want %d (warm-up only)", got, want)
+	}
+}
+
 // BenchmarkBurstySweep measures the bursty-traffic path end to end: a
 // 6-point mean-preserving MMPP2 burstiness curve at N=16 with 2
 // replications per point. Against BenchmarkSweepParallel this isolates

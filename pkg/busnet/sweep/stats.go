@@ -25,6 +25,13 @@ type Stat struct {
 	CIUndefined bool `json:"ci_undefined,omitempty"`
 }
 
+// Summarize reduces independent per-replication values of one metric
+// into a Stat — exported for consumers that derive metrics a
+// PointResult does not pre-reduce (the optimizer's per-replication
+// p99s, read from kept Runs). Semantics match every built-in column:
+// Student-t 95% interval, single values collapse to CIUndefined.
+func Summarize(xs []float64) Stat { return summarize(xs) }
+
 // summarize reduces the replication values of one metric. Two-pass mean
 // and variance: replication counts are small (tens), so numerical
 // stability tricks beyond the two-pass form are unnecessary.

@@ -6,17 +6,27 @@
 // paper's methodology — whole curves cross-checked against analysis,
 // not single operating points.
 //
+// Execution is a three-stage pipeline. Plan resolves the spec into a
+// deterministic stream of (config, seed, stream) work units (see Jobs);
+// execute fans them over the worker pool, streaming each completed
+// point out the moment its last replication lands and consulting an
+// optional result Cache keyed on that same triple; reduce collapses
+// each point's replications into CI statistics. Run and RunTopology
+// are thin wrappers that collect the stream back into grid order —
+// their output is bit-identical to the historical batch-barrier
+// implementation — while RunStream/RunTopologyStream expose the
+// pipeline to consumers that want points as they land.
+//
 // Results are deterministic: replication r of every point runs RNG
 // substream base.Stream + r of the spec's seed (common random numbers
 // across points, independence across replications), and workers only
 // ever write to their job's own slot, so the output is bit-identical
-// for any worker count.
+// for any worker count — and, with a Cache attached, for any mix of
+// warm and cold entries.
 package sweep
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/busnet/busnet/pkg/busnet"
 )
@@ -35,6 +45,13 @@ type Spec struct {
 	Grid         Grid `json:"grid"`
 	Replications int  `json:"replications"`
 	Workers      int  `json:"-"`
+	// Points, when non-empty, bypasses Grid expansion: the plan stage
+	// takes this explicit, validated-on-entry point list instead. This
+	// is the optimizer's path — candidate sets carved out of a budget
+	// constraint are not cartesian — and the service path for specs
+	// that arrive already expanded. Replication and determinism
+	// semantics are identical to a grid of the same points.
+	Points []busnet.Config `json:"points,omitempty"`
 	// KeepRuns retains every replication's full Results in the point
 	// (large output; off by default).
 	KeepRuns bool `json:"keep_runs,omitempty"`
@@ -50,8 +67,16 @@ type Spec struct {
 	Backend busnet.Backend `json:"backend,omitempty"`
 	// Progress, when non-nil, receives live job/point completion counts
 	// during Run — poll it from another goroutine for a reporter.
-	// Attaching it never changes the sweep's output.
+	// Attaching it never changes the sweep's output. Model backends
+	// count one job per point.
 	Progress *Progress `json:"-"`
+	// Cache, when non-nil, is consulted before and populated after
+	// every simulation job. Bit-exact reproducibility makes the
+	// (config-hash, seed, stream) key exact, so a warm sweep is
+	// byte-identical to a cold one — repeated points across optimizer
+	// iterations or recurring specs cost a lookup, not a simulation.
+	// Ignored by model backends, whose evaluations are already cheap.
+	Cache *Cache `json:"-"`
 }
 
 // PointResult is one grid point reduced across its replications.
@@ -91,7 +116,9 @@ type PointResult struct {
 	Runs           []busnet.Results `json:"runs,omitempty"`
 	// Diagnostics is the engine/model counter block summed across the
 	// point's replications; deterministic for a fixed spec regardless of
-	// worker count. Nil when no simulation ran (predict-only backends).
+	// worker count. Nil when no simulation ran (predict-only backends,
+	// or every replication served from an externally-warmed cache entry
+	// that carried no counters).
 	Diagnostics *busnet.Diagnostics `json:"diagnostics,omitempty"`
 }
 
@@ -101,131 +128,142 @@ type Result struct {
 	Points       []PointResult `json:"points"`
 }
 
-// Run executes the spec. Every (point, replication) job is simulated on
-// its own Network with an independent RNG substream, jobs are fanned out
-// over the worker pool, and each worker writes only to its job's slot in
-// a preallocated slice — so Run's output depends on the spec alone,
-// never on scheduling. The first failing job (in job order) aborts the
-// sweep with its error.
+// PointDelivery is one reduced point streamed out of a running sweep:
+// the point's index in plan (grid) order and its full reduction.
+type PointDelivery struct {
+	Index int
+	Point PointResult
+}
+
+// Run executes the spec through the plan → execute → reduce pipeline
+// and collects the streamed points back into grid order. Every
+// (point, replication) job is simulated on its own Network with an
+// independent RNG substream, and each job writes only its own slot —
+// so Run's output depends on the spec alone, never on scheduling. The
+// first failing job (in job order) aborts the sweep with its error.
 func Run(spec Spec) (Result, error) {
-	backend, err := busnet.ParseBackend(string(spec.Backend))
-	if err != nil {
-		return Result{}, fmt.Errorf("sweep: %w", err)
-	}
-	points, err := spec.Grid.Points()
+	points, reps, backend, err := plan(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	if len(points) == 0 {
-		return Result{}, fmt.Errorf("sweep: grid expanded to no points")
-	}
-	if backend != busnet.BackendSim {
-		return predictOnly(backend, points)
-	}
-	reps := spec.Replications
-	if reps <= 0 {
-		reps = DefaultReplications
-	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	nJobs := len(points) * reps
-	if workers > nJobs {
-		workers = nJobs
-	}
-	if spec.Progress != nil {
-		spec.Progress.begin(len(points), reps, workers)
-	}
-	runs := make([]busnet.Results, nJobs)
-	errs := make([]error, nJobs)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				spec.Progress.jobStart()
-				runs[j], errs[j] = runJob(points[j/reps], j%reps)
-				spec.Progress.jobDone(j / reps)
-			}
-		}()
-	}
-	for j := 0; j < nJobs; j++ {
-		jobs <- j
-	}
-	close(jobs)
-	wg.Wait()
-	for j, err := range errs {
-		if err != nil {
-			return Result{}, fmt.Errorf("sweep: point %d replication %d: %w", j/reps, j%reps, err)
-		}
-	}
-
 	out := Result{Replications: reps, Points: make([]PointResult, len(points))}
-	for p, cfg := range points {
-		out.Points[p] = reduce(cfg, runs[p*reps:(p+1)*reps], spec.KeepRuns)
+	err = stream(spec, backend, points, reps, func(d PointDelivery) {
+		out.Points[d.Index] = d.Point
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return out, nil
 }
 
-// predictOnly evaluates every grid point with the fluid or analytic
-// model — no simulation, no replications. Stats carry the model's point
+// RunStream executes the spec, handing each reduced point to deliver
+// the moment its last replication lands. Calls to deliver are
+// serialized (never concurrent) but arrive in completion order, which
+// under a parallel pool is generally NOT grid order; d.Index says which
+// point arrived. Each point's reduction is bit-identical to the one Run
+// would return — Run is RunStream plus reassembly into grid order. A
+// point with a failed replication is never delivered; after the pool
+// drains, the first failing job (in job order) is returned.
+func RunStream(spec Spec, deliver func(PointDelivery)) error {
+	points, reps, backend, err := plan(spec)
+	if err != nil {
+		return err
+	}
+	return stream(spec, backend, points, reps, deliver)
+}
+
+// stream wires the pipeline for one planned sweep: model backends
+// evaluate point-by-point, the sim backend fans jobs through the
+// cache-aware pool and reduces each point as it completes.
+func stream(spec Spec, backend busnet.Backend, points []busnet.Config, reps int, deliver func(PointDelivery)) error {
+	if backend != busnet.BackendSim {
+		return predictStream(backend, points, spec.Progress, deliver)
+	}
+	pl := &pipeline[busnet.Config, busnet.Results]{
+		points:   points,
+		reps:     reps,
+		workers:  spec.Workers,
+		progress: spec.Progress,
+		run:      func(cfg busnet.Config, _, rep int) (busnet.Results, error) { return runJob(cfg, rep, spec.Cache) },
+		deliver: func(pt int, runs []busnet.Results) {
+			deliver(PointDelivery{Index: pt, Point: reduce(points[pt], runs, spec.KeepRuns)})
+		},
+		wrapErr: func(pt, rep int, err error) error {
+			return fmt.Errorf("sweep: point %d replication %d: %w", pt, rep, err)
+		},
+	}
+	return pl.execute()
+}
+
+// predictStream evaluates every point with the fluid or analytic model
+// — no simulation, no replications. Stats carry the model's point
 // estimates in the single-replication encoding (Lo = Hi = Mean,
 // CIUndefined): a deterministic model has no sampling variability, and
 // downstream CSV/JSON already renders undefined intervals as empty
 // cells. Result.Replications is 0 so consumers can tell a model curve
-// from even a one-replication simulation.
-func predictOnly(backend busnet.Backend, points []busnet.Config) (Result, error) {
+// from even a one-replication simulation. Progress counts one job per
+// point, so model-backend sweeps report like simulated ones.
+func predictStream(backend busnet.Backend, points []busnet.Config, progress *Progress, deliver func(PointDelivery)) error {
 	point := func(x float64) Stat { return Stat{Mean: x, Lo: x, Hi: x, CIUndefined: true} }
-	out := Result{Points: make([]PointResult, len(points))}
+	if progress != nil {
+		progress.begin(len(points), 1, 1)
+	}
 	for p, cfg := range points {
-		pr := PointResult{Config: cfg.Normalized()}
+		progress.jobStart()
+		ev, err := busnet.Evaluate(cfg, backend)
+		if err != nil {
+			return fmt.Errorf("sweep: %s backend, point %d: %w", backend, p, err)
+		}
+		pr := PointResult{
+			Config:       cfg.Normalized(),
+			Utilization:  point(ev.Utilization),
+			Throughput:   point(ev.Throughput),
+			MeanWait:     point(ev.MeanWait),
+			MeanQueueLen: point(ev.MeanQueueLen),
+			MeanResponse: point(ev.MeanResponse),
+		}
 		switch backend {
 		case busnet.BackendFluid:
-			ev, err := busnet.Evaluate(cfg, busnet.BackendFluid)
-			if err != nil {
-				return Result{}, fmt.Errorf("sweep: fluid backend, point %d: %w", p, err)
-			}
 			pr.Fluid = ev.Fluid
-			pr.Utilization = point(ev.Utilization)
-			pr.Throughput = point(ev.Throughput)
-			pr.MeanWait = point(ev.MeanWait)
-			pr.MeanQueueLen = point(ev.MeanQueueLen)
-			pr.MeanResponse = point(ev.MeanResponse)
 			// The exact closed form rides along where it exists, so
 			// fluid-vs-exact gaps are visible in one artifact.
 			if aev, err := busnet.Evaluate(cfg, busnet.BackendAnalytic); err == nil {
 				pr.Analytic = aev.Analytic
 			}
 		case busnet.BackendAnalytic:
-			ev, err := busnet.Evaluate(cfg, busnet.BackendAnalytic)
-			if err != nil {
-				return Result{}, fmt.Errorf("sweep: analytic backend, point %d: %w", p, err)
-			}
 			pr.Analytic = ev.Analytic
-			pr.Utilization = point(ev.Utilization)
-			pr.Throughput = point(ev.Throughput)
-			pr.MeanWait = point(ev.MeanWait)
-			pr.MeanQueueLen = point(ev.MeanQueueLen)
-			pr.MeanResponse = point(ev.MeanResponse)
 		}
-		out.Points[p] = pr
+		progress.jobDone(p)
+		deliver(PointDelivery{Index: p, Point: pr})
 	}
-	return out, nil
+	return nil
 }
 
 // runJob simulates replication rep of one grid point on RNG substream
 // base.Stream + rep: replication seeds are a function of the experiment
 // seed and the replication index alone, shared across points (common
-// random numbers) and independent within a point.
-func runJob(cfg busnet.Config, rep int) (busnet.Results, error) {
+// random numbers) and independent within a point. With a cache, the
+// job's (config-hash, seed, stream) key is consulted first and the
+// fresh result stored after — determinism makes the cached and
+// simulated results interchangeable to the bit.
+func runJob(cfg busnet.Config, rep int, cache *Cache) (busnet.Results, error) {
 	cfg.Stream += uint64(rep)
+	var key Key
+	haveKey := false
+	if cache != nil {
+		if k, err := KeyFor(cfg); err == nil {
+			key, haveKey = k, true
+			if res, ok := cache.Get(k); ok {
+				return res, nil
+			}
+		}
+	}
 	ev, err := busnet.Evaluate(cfg, busnet.BackendSim)
 	if err != nil {
 		return busnet.Results{}, err
+	}
+	if haveKey {
+		cache.Put(key, *ev.Results)
 	}
 	return *ev.Results, nil
 }
@@ -266,11 +304,19 @@ func reduce(cfg busnet.Config, runs []busnet.Results, keep bool) PointResult {
 			pr.Grants[i] += g
 		}
 	}
-	diag := &busnet.Diagnostics{}
+	// Diagnostics stays nil unless some replication actually carried
+	// counters — runs injected from an external cache warm-up may not —
+	// honoring the "nil when no simulation ran" contract instead of
+	// attaching an all-zero block.
+	var diag *busnet.Diagnostics
 	for _, r := range runs {
-		if r.Diagnostics != nil {
-			diag.Accumulate(*r.Diagnostics)
+		if r.Diagnostics == nil {
+			continue
 		}
+		if diag == nil {
+			diag = &busnet.Diagnostics{}
+		}
+		diag.Accumulate(*r.Diagnostics)
 	}
 	pr.Diagnostics = diag
 	// Pool latency histograms only when the runs collected them

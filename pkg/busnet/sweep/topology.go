@@ -2,8 +2,6 @@ package sweep
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/busnet/busnet/pkg/busnet"
 )
@@ -26,7 +24,8 @@ type TopologySpec struct {
 	// model and fails the sweep.
 	Backend busnet.Backend `json:"backend,omitempty"`
 	// Progress, when non-nil, receives live job/point completion counts
-	// during RunTopology; same contract as Spec.Progress.
+	// during RunTopology; same contract as Spec.Progress. Model
+	// backends count one job per point.
 	Progress *Progress `json:"-"`
 }
 
@@ -55,7 +54,7 @@ type TopologyPointResult struct {
 	EndToEnd   Stat                       `json:"end_to_end_response"`
 	Analytic   *busnet.TopologyPrediction `json:"analytic,omitempty"`
 	// Diagnostics is the engine/fabric counter block summed across the
-	// point's replications; nil for predict-only backends.
+	// point's replications; nil when no simulation ran.
 	Diagnostics *busnet.Diagnostics `json:"diagnostics,omitempty"`
 }
 
@@ -65,80 +64,104 @@ type TopologyResult struct {
 	Points       []TopologyPointResult `json:"points"`
 }
 
-// RunTopology executes the spec with the same worker-pool discipline as
-// Run: every (point, replication) job evaluates on its own fabric and
-// substream, workers write only their own slots, and the first failing
-// job (in job order) aborts the sweep.
+// TopologyPointDelivery is one reduced topology point streamed out of a
+// running sweep: the point's index in spec order and its full reduction.
+type TopologyPointDelivery struct {
+	Index int
+	Point TopologyPointResult
+}
+
+// RunTopology executes the spec through the same plan → execute →
+// reduce pipeline as Run and collects the streamed points back into
+// spec order: every (point, replication) job evaluates on its own
+// fabric and substream, workers write only their own slots, and the
+// first failing job (in job order) aborts the sweep.
 func RunTopology(spec TopologySpec) (TopologyResult, error) {
+	backend, reps, err := planTopology(spec)
+	if err != nil {
+		return TopologyResult{}, err
+	}
+	out := TopologyResult{Replications: reps, Points: make([]TopologyPointResult, len(spec.Points))}
+	err = streamTopology(spec, backend, reps, func(d TopologyPointDelivery) {
+		out.Points[d.Index] = d.Point
+	})
+	if err != nil {
+		return TopologyResult{}, err
+	}
+	return out, nil
+}
+
+// RunTopologyStream executes the spec, handing each reduced point to
+// deliver the moment its last replication lands — same contract as
+// RunStream: deliver calls are serialized but arrive in completion
+// order, failed points are never delivered, and each point's reduction
+// is bit-identical to RunTopology's.
+func RunTopologyStream(spec TopologySpec, deliver func(TopologyPointDelivery)) error {
+	backend, reps, err := planTopology(spec)
+	if err != nil {
+		return err
+	}
+	return streamTopology(spec, backend, reps, deliver)
+}
+
+// planTopology resolves the backend and replication count and validates
+// the point list is non-empty — the topology flavor of plan.
+func planTopology(spec TopologySpec) (busnet.Backend, int, error) {
 	backend, err := busnet.ParseBackend(string(spec.Backend))
 	if err != nil {
-		return TopologyResult{}, fmt.Errorf("sweep: %w", err)
+		return "", 0, fmt.Errorf("sweep: %w", err)
 	}
 	if len(spec.Points) == 0 {
-		return TopologyResult{}, fmt.Errorf("sweep: topology sweep has no points")
+		return "", 0, fmt.Errorf("sweep: topology sweep has no points")
 	}
 	if backend != busnet.BackendSim {
-		return predictTopologyOnly(backend, spec.Points)
+		return backend, 0, nil
 	}
 	reps := spec.Replications
 	if reps <= 0 {
 		reps = DefaultReplications
 	}
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	nJobs := len(spec.Points) * reps
-	if workers > nJobs {
-		workers = nJobs
-	}
-	if spec.Progress != nil {
-		spec.Progress.begin(len(spec.Points), reps, workers)
-	}
-	runs := make([]busnet.TopologyEvaluation, nJobs)
-	errs := make([]error, nJobs)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				spec.Progress.jobStart()
-				t := spec.Points[j/reps]
-				t.Stream += uint64(j % reps)
-				runs[j], errs[j] = busnet.EvaluateTopology(t, busnet.BackendSim)
-				spec.Progress.jobDone(j / reps)
-			}
-		}()
-	}
-	for j := 0; j < nJobs; j++ {
-		jobs <- j
-	}
-	close(jobs)
-	wg.Wait()
-	for j, err := range errs {
-		if err != nil {
-			return TopologyResult{}, fmt.Errorf("sweep: topology point %d replication %d: %w", j/reps, j%reps, err)
-		}
-	}
-	out := TopologyResult{Replications: reps, Points: make([]TopologyPointResult, len(spec.Points))}
-	for p, t := range spec.Points {
-		out.Points[p] = reduceTopology(t, runs[p*reps:(p+1)*reps])
-	}
-	return out, nil
+	return backend, reps, nil
 }
 
-// predictTopologyOnly evaluates every point with the product-form
+// streamTopology wires the pipeline for one planned topology sweep.
+func streamTopology(spec TopologySpec, backend busnet.Backend, reps int, deliver func(TopologyPointDelivery)) error {
+	if backend != busnet.BackendSim {
+		return predictTopologyStream(backend, spec.Points, spec.Progress, deliver)
+	}
+	pl := &pipeline[busnet.Topology, busnet.TopologyEvaluation]{
+		points:   spec.Points,
+		reps:     reps,
+		workers:  spec.Workers,
+		progress: spec.Progress,
+		run: func(t busnet.Topology, _, rep int) (busnet.TopologyEvaluation, error) {
+			t.Stream += uint64(rep)
+			return busnet.EvaluateTopology(t, busnet.BackendSim)
+		},
+		deliver: func(pt int, runs []busnet.TopologyEvaluation) {
+			deliver(TopologyPointDelivery{Index: pt, Point: reduceTopology(spec.Points[pt], runs)})
+		},
+		wrapErr: func(pt, rep int, err error) error {
+			return fmt.Errorf("sweep: topology point %d replication %d: %w", pt, rep, err)
+		},
+	}
+	return pl.execute()
+}
+
+// predictTopologyStream evaluates every point with the product-form
 // overlay — no simulation, no replications, Stats in the
-// single-replication encoding (mirroring predictOnly).
-func predictTopologyOnly(backend busnet.Backend, points []busnet.Topology) (TopologyResult, error) {
+// single-replication encoding (mirroring predictStream, including the
+// one-job-per-point Progress accounting).
+func predictTopologyStream(backend busnet.Backend, points []busnet.Topology, progress *Progress, deliver func(TopologyPointDelivery)) error {
 	point := func(x float64) Stat { return Stat{Mean: x, Lo: x, Hi: x, CIUndefined: true} }
-	out := TopologyResult{Points: make([]TopologyPointResult, len(points))}
+	if progress != nil {
+		progress.begin(len(points), 1, 1)
+	}
 	for p, t := range points {
+		progress.jobStart()
 		ev, err := busnet.EvaluateTopology(t, backend)
 		if err != nil {
-			return TopologyResult{}, fmt.Errorf("sweep: %s backend, topology point %d: %w", backend, p, err)
+			return fmt.Errorf("sweep: %s backend, topology point %d: %w", backend, p, err)
 		}
 		pr := TopologyPointResult{
 			Topology:   t.Normalized(),
@@ -158,9 +181,10 @@ func predictTopologyOnly(backend busnet.Backend, points []busnet.Topology) (Topo
 				MeanResponse: point(n.MeanResponse),
 			}
 		}
-		out.Points[p] = pr
+		progress.jobDone(p)
+		deliver(TopologyPointDelivery{Index: p, Point: pr})
 	}
-	return out, nil
+	return nil
 }
 
 // reduceTopology collapses one point's replications into CI statistics
@@ -200,11 +224,17 @@ func reduceTopology(t busnet.Topology, runs []busnet.TopologyEvaluation) Topolog
 			MeanResponse: hop(k, func(h busnet.HopResult) float64 { return h.MeanResponse }),
 		}
 	}
-	diag := &busnet.Diagnostics{}
+	// Same lazy allocation as reduce: Diagnostics stays nil unless some
+	// replication actually carried counters.
+	var diag *busnet.Diagnostics
 	for _, r := range runs {
-		if r.Diagnostics != nil {
-			diag.Accumulate(*r.Diagnostics)
+		if r.Diagnostics == nil {
+			continue
 		}
+		if diag == nil {
+			diag = &busnet.Diagnostics{}
+		}
+		diag.Accumulate(*r.Diagnostics)
 	}
 	pr.Diagnostics = diag
 	if p, err := busnet.PredictTopology(t); err == nil {
